@@ -1,0 +1,1 @@
+bench/experiments.ml: Adaptive Baseline_aaps Baseline_trivial Central Controller Dist_harness Dtree Estimator Format Hashtbl Iterated List Net Params Rng Stats String Types Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Central Controller Dtree Event_queue Experiments Format Hashtbl Instance List Measure Package Params Rng Staged String Sys Test Time Toolkit Workload

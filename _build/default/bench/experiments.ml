@@ -1,0 +1,580 @@
+(* The experiment harness: one section per quantitative claim of the paper
+   (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the recorded
+   outcomes). Each experiment prints the table it regenerates. *)
+
+open Controller
+
+let hr () = Format.printf "%s@." (String.make 78 '-')
+
+let section id title =
+  Format.printf "@.";
+  hr ();
+  Format.printf "%s  %s@." id title;
+  hr ()
+
+let log2f n = Stats.log2 (float_of_int (max 2 n))
+
+(* ------------------------------------------------------------------ *)
+(* E1: Theorem 3.5 (first part) - adaptive centralized move complexity *)
+
+let theorem_3_5_bound ~n0 ~m ~w sizes_at_changes =
+  let logmw = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
+  let base = float_of_int n0 *. log2f n0 *. log2f n0 *. logmw in
+  List.fold_left
+    (fun acc nj -> acc +. (log2f nj *. log2f nj *. logmw))
+    base sizes_at_changes
+
+let run_adaptive_once ?(variant = Adaptive.By_changes) ~seed ~n0 ~m ~w ~requests ~mix () =
+  let rng = Rng.create ~seed in
+  let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
+  let ctrl = Adaptive.create ~variant ~m ~w ~tree () in
+  let wl = Workload.make ~seed:(seed + 1) ~mix () in
+  let sizes = ref [] in
+  for _ = 1 to requests do
+    let op = Workload.next_op wl tree in
+    match Adaptive.request ctrl op with
+    | Types.Granted -> (
+        match op with
+        | Workload.Non_topological _ -> ()
+        | _ -> sizes := Dtree.size tree :: !sizes)
+    | Types.Rejected | Types.Exhausted -> ()
+  done;
+  (Adaptive.moves ctrl, Adaptive.granted ctrl, !sizes)
+
+let e1 () =
+  section "E1" "Theorem 3.5(1): moves = O(n0 log^2 n0 log(M/W+1) + sum_j log^2 n_j log(M/W+1))";
+  Format.printf "churn workload, M = n0, W = M/8; the moves/bound ratio should stay flat@.@.";
+  Format.printf "%8s %12s %14s %14s %8s@." "n0" "granted" "moves" "bound" "ratio";
+  List.iter
+    (fun n0 ->
+      let m = n0 and w = max 1 (n0 / 8) in
+      let moves, granted, sizes =
+        run_adaptive_once ~seed:(41 + n0) ~n0 ~m ~w ~requests:(2 * n0)
+          ~mix:Workload.Mix.churn ()
+      in
+      let bound = theorem_3_5_bound ~n0 ~m ~w sizes in
+      Format.printf "%8d %12d %14s %14.0f %8.4f@." n0 granted (Stats.pretty_int moves)
+        bound
+        (float_of_int moves /. bound))
+    [ 64; 128; 256; 512; 1024; 2048; 4096 ];
+  (* the second variant of Theorem 3.5: epochs rotate when the size doubles,
+     giving O(N log^2 N log(M/(W+1))) for the maximal simultaneous size N *)
+  Format.printf
+    "@.Theorem 3.5(2) (epochs rotate on size doubling), grow-only from n0 = 16:@.@.";
+  Format.printf "%8s %8s %12s %14s %14s %8s@." "M" "final N" "granted" "moves"
+    "N log^2 N lg" "ratio";
+  List.iter
+    (fun m ->
+      let w = max 1 (m / 8) in
+      let moves, granted, sizes =
+        run_adaptive_once ~variant:Adaptive.By_doubling ~seed:(43 + m) ~n0:16 ~m ~w
+          ~requests:m ~mix:Workload.Mix.grow_only ()
+      in
+      let n_max = List.fold_left max 16 sizes in
+      let logmw = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
+      let bound = float_of_int n_max *. log2f n_max *. log2f n_max *. logmw in
+      Format.printf "%8d %8d %12d %14s %14.0f %8.4f@." m n_max granted
+        (Stats.pretty_int moves) bound
+        (float_of_int moves /. bound))
+    [ 256; 512; 1024; 2048; 4096 ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: Observation 3.4 - the log(M/(W+1)) dependence                   *)
+
+let e2 () =
+  section "E2" "Observation 3.4: move complexity scales with log(M/(W+1))";
+  let n0 = 4096 and m = 2048 in
+  Format.printf
+    "deep path of %d nodes, M = %d, deep-biased grow-only requests, driven to@." n0 m;
+  Format.printf
+    "exhaustion. moves must stay below c * U log^2 U log(M/(W+1)) with one small c,@.";
+  Format.printf "and the halving iterations below log(M/(W+1)) + 2@.@.";
+  Format.printf "%8s %14s %12s %12s %16s %8s@." "W" "log(M/(W+1))" "iterations" "moves"
+    "bound" "ratio";
+  List.iter
+    (fun w ->
+      let rng = Rng.create ~seed:52 in
+      let tree = Workload.Shape.build rng (Workload.Shape.Path n0) in
+      let u = n0 + m + 64 in
+      let ctrl = Iterated.create ~m ~w ~u ~tree () in
+      let wl = Workload.make ~seed:53 ~deep_bias:true ~mix:Workload.Mix.grow_only () in
+      for _ = 1 to m + 200 do
+        ignore (Iterated.request ctrl (Workload.next_op wl tree))
+      done;
+      let logterm = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
+      let bound = float_of_int u *. log2f u *. log2f u *. logterm in
+      Format.printf "%8d %14.2f %12d %12s %16.0f %8.4f@." w logterm
+        (Iterated.iterations ctrl)
+        (Stats.pretty_int (Iterated.moves ctrl))
+        bound
+        (float_of_int (Iterated.moves ctrl) /. bound))
+    [ 0; 1; 3; 15; 63; 255; 1023 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: grow-only comparison with [4]'s bin hierarchy and the trivial    *)
+(* controller                                                          *)
+
+let e3 () =
+  section "E3" "grow-only trees: ours vs Afek et al. [4] bins vs trivial (move complexity)";
+  Format.printf
+    "deep path of n0 nodes, M = 2 n0, W = M/2, deep-biased leaf insertions, driven@.";
+  Format.printf "to exhaustion; per-grant cost is the fair comparison@.@.";
+  Format.printf "%6s %6s | %10s %7s %9s | %10s %7s %9s | %10s %9s@." "n0" "M" "ours"
+    "grant" "per-grant" "AAPS [4]" "grant" "per-grant" "trivial" "per-grant";
+  List.iter
+    (fun (n0, mfactor) ->
+      let m = mfactor * n0 in
+      let w = m / 2 in
+      let u = n0 + m + 64 in
+      let requests = m + 100 in
+      let run_grow request granted_of moves_of tree =
+        let wl = Workload.make ~seed:61 ~deep_bias:true ~mix:Workload.Mix.grow_only () in
+        for _ = 1 to requests do
+          ignore (request (Workload.next_op wl tree))
+        done;
+        (moves_of (), granted_of ())
+      in
+      let fresh () =
+        let rng = Rng.create ~seed:(60 + n0) in
+        Workload.Shape.build rng (Workload.Shape.Path n0)
+      in
+      let t1 = fresh () in
+      let ours = Iterated.create ~m ~w ~u ~tree:t1 () in
+      let ours_moves, ours_granted =
+        run_grow (Iterated.request ours)
+          (fun () -> Iterated.granted ours)
+          (fun () -> Iterated.moves ours)
+          t1
+      in
+      let t2 = fresh () in
+      let aaps = Baseline_aaps.Iterated.create ~m ~w ~u ~tree:t2 () in
+      let aaps_moves, aaps_granted =
+        run_grow
+          (Baseline_aaps.Iterated.request aaps)
+          (fun () -> Baseline_aaps.Iterated.granted aaps)
+          (fun () -> Baseline_aaps.Iterated.moves aaps)
+          t2
+      in
+      let t3 = fresh () in
+      let triv = Baseline_trivial.create ~m ~tree:t3 in
+      let triv_moves, triv_granted =
+        run_grow (Baseline_trivial.request triv)
+          (fun () -> Baseline_trivial.granted triv)
+          (fun () -> Baseline_trivial.moves triv)
+          t3
+      in
+      let per m g = float_of_int m /. float_of_int (max 1 g) in
+      Format.printf "%6d %6d | %10s %7d %9.1f | %10s %7d %9.1f | %10s %9.1f@." n0 m
+        (Stats.pretty_int ours_moves) ours_granted (per ours_moves ours_granted)
+        (Stats.pretty_int aaps_moves) aaps_granted (per aaps_moves aaps_granted)
+        (Stats.pretty_int triv_moves) (per triv_moves triv_granted))
+    [ (512, 2); (1024, 2); (2048, 2); (512, 16); (1024, 16) ];
+  Format.printf
+    "@.ours grants within [M-W, M] exactly; the bin hierarchy strands a constant@.";
+  Format.printf "fraction of M, its structural price for depth-keyed bins.@."
+
+(* ------------------------------------------------------------------ *)
+(* E4: the full dynamic model, where [4] cannot run at all             *)
+
+let e4 () =
+  section "E4" "full dynamic model (insert/delete leaves and internal nodes)";
+  Format.printf
+    "deep caterpillar of n0 nodes, M = n0, W = M/2, deep-biased requests;@.";
+  Format.printf "AAPS [4] raises on its first non-insert request@.@.";
+  Format.printf "%6s %14s | %12s %12s %8s@." "n0" "mix" "ours" "trivial" "ratio";
+  List.iter
+    (fun (n0, mix, mix_name) ->
+      let m = n0 and w = max 1 (n0 / 2) in
+      let requests = m + 100 in
+      let rng = Rng.create ~seed:(70 + n0) in
+      let tree = Workload.Shape.build rng (Workload.Shape.Caterpillar n0) in
+      let ctrl = Adaptive.create ~m ~w ~tree () in
+      let wl = Workload.make ~seed:71 ~deep_bias:true ~mix () in
+      for _ = 1 to requests do
+        ignore (Adaptive.request ctrl (Workload.next_op wl tree))
+      done;
+      let rng = Rng.create ~seed:(70 + n0) in
+      let tree2 = Workload.Shape.build rng (Workload.Shape.Caterpillar n0) in
+      let triv = Baseline_trivial.create ~m ~tree:tree2 in
+      let wl2 = Workload.make ~seed:71 ~deep_bias:true ~mix () in
+      for _ = 1 to requests do
+        ignore (Baseline_trivial.request triv (Workload.next_op wl2 tree2))
+      done;
+      Format.printf "%6d %14s | %12s %12s %8.2f@." n0 mix_name
+        (Stats.pretty_int (Adaptive.moves ctrl))
+        (Stats.pretty_int (Baseline_trivial.moves triv))
+        (float_of_int (Baseline_trivial.moves triv)
+        /. float_of_int (max 1 (Adaptive.moves ctrl))))
+    [
+      (1024, Workload.Mix.churn, "churn");
+      (4096, Workload.Mix.churn, "churn");
+      (1024, Workload.Mix.shrink_heavy, "shrink-heavy");
+      (4096, Workload.Mix.shrink_heavy, "shrink-heavy");
+    ];
+  (* demonstrate AAPS's inapplicability *)
+  let rng = Rng.create ~seed:77 in
+  let tree = Workload.Shape.build rng (Workload.Shape.Random 64) in
+  let aaps =
+    Baseline_aaps.create ~params:(Params.make ~m:64 ~w:32 ~u:128) ~tree
+  in
+  let leaf = List.hd (Dtree.leaves tree) in
+  (try
+     ignore (Baseline_aaps.request aaps (Workload.Remove_leaf leaf));
+     Format.printf "@.unexpected: AAPS accepted a deletion@."
+   with Invalid_argument msg ->
+     Format.printf "@.AAPS on a deletion: Invalid_argument %S@." msg)
+
+(* ------------------------------------------------------------------ *)
+(* E5: Theorem 4.9 - distributed message complexity and message size   *)
+
+let e5 () =
+  section "E5" "Theorem 4.9: distributed controller, concurrent requests";
+  Format.printf
+    "churn, M = n0, W = M/8, concurrency 8; message complexity should track the@.";
+  Format.printf "centralized bound shape, messages stay O(log N) bits@.@.";
+  Format.printf "%6s %10s %12s %14s %8s %10s %9s@." "n0" "granted" "messages" "bound"
+    "ratio" "max bits" "8 log N";
+  List.iter
+    (fun n0 ->
+      let m = n0 and w = max 1 (n0 / 8) in
+      let stats =
+        Dist_harness.run ~seed:(80 + n0) ~concurrency:8
+          ~shape:(Workload.Shape.Random n0) ~mix:Workload.Mix.churn ~m ~w
+          ~requests:(2 * n0) ()
+      in
+      let logmw = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
+      let bound = float_of_int n0 *. log2f n0 *. log2f n0 *. logmw in
+      Format.printf "%6d %10d %12s %14.0f %8.4f %10d %9d@." n0
+        stats.Dist_harness.granted
+        (Stats.pretty_int stats.Dist_harness.messages)
+        bound
+        (float_of_int stats.Dist_harness.messages /. bound)
+        stats.Dist_harness.max_message_bits
+        (8 * Stats.ceil_log2 (max 2 (2 * n0))))
+    [ 64; 128; 256; 512; 1024 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: Theorem 5.1 - size estimation                                   *)
+
+let run_size_estimation ~seed ~n0 ~beta ~changes ~mix =
+  let rng = Rng.create ~seed in
+  let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
+  let net = Net.create ~seed:(seed + 1) ~tree () in
+  let se = Estimator.Size_estimation.create ~beta ~net () in
+  let wl = Workload.make ~seed:(seed + 2) ~mix () in
+  let reserved = Hashtbl.create 16 in
+  let worst = ref 1.0 in
+  let submitted = ref 0 in
+  let rec pump () =
+    if !submitted < changes then
+      match Workload.next_op_avoiding wl tree ~forbidden:(Hashtbl.mem reserved) with
+      | None -> Net.schedule net ~delay:3 pump
+      | Some op ->
+          incr submitted;
+          let nodes =
+            List.sort_uniq compare
+              (Workload.request_site tree op :: Workload.touched tree op)
+          in
+          List.iter (fun v -> Hashtbl.replace reserved v ()) nodes;
+          Estimator.Size_estimation.submit se op ~k:(fun () ->
+              List.iter (Hashtbl.remove reserved) nodes;
+              let n = float_of_int (Dtree.size tree) in
+              let est =
+                float_of_int (Estimator.Size_estimation.estimate se (Dtree.root tree))
+              in
+              let r = if est > n then est /. n else n /. est in
+              if r > !worst then worst := r;
+              pump ())
+  in
+  for _ = 1 to 4 do
+    pump ()
+  done;
+  Net.run net;
+  (se, net, !worst)
+
+let e6 () =
+  section "E6" "Theorem 5.1: size estimation - beta-approximation and message complexity";
+  Format.printf "churn workload; every node estimates within beta at all times@.@.";
+  Format.printf "%6s %6s %9s %8s %12s %14s %14s@." "n0" "beta" "changes" "epochs"
+    "messages" "msgs/change" "log^2 n";
+  List.iter
+    (fun (n0, beta) ->
+      let changes = 2 * n0 in
+      let se, net, worst =
+        run_size_estimation ~seed:(90 + n0) ~n0 ~beta ~changes ~mix:Workload.Mix.churn
+      in
+      let total =
+        Net.messages net + Estimator.Size_estimation.overhead_messages se
+      in
+      Format.printf "%6d %6.1f %9d %8d %12s %14.1f %14.1f   (worst ratio %.3f)@." n0
+        beta changes
+        (Estimator.Size_estimation.epochs se)
+        (Stats.pretty_int total)
+        (float_of_int total /. float_of_int changes)
+        (log2f n0 *. log2f n0)
+        worst)
+    [ (64, 2.0); (128, 2.0); (256, 2.0); (512, 2.0); (1024, 2.0); (256, 1.5); (256, 3.0) ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: Theorem 5.2 - name assignment                                   *)
+
+let e7 () =
+  section "E7" "Theorem 5.2: name assignment - unique ids in [1, 4n] at all times";
+  Format.printf "%6s %9s %8s %12s %14s %12s@." "n0" "changes" "epochs" "messages"
+    "msgs/change" "max id/n";
+  List.iter
+    (fun n0 ->
+      let changes = 2 * n0 in
+      let rng = Rng.create ~seed:(100 + n0) in
+      let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
+      let net = Net.create ~seed:(101 + n0) ~tree () in
+      let na = Estimator.Name_assignment.create ~net () in
+      let wl = Workload.make ~seed:102 ~mix:Workload.Mix.churn () in
+      let reserved = Hashtbl.create 16 in
+      let submitted = ref 0 in
+      let rec pump () =
+        if !submitted < changes then
+          match
+            Workload.next_op_avoiding wl tree ~forbidden:(Hashtbl.mem reserved)
+          with
+          | None -> Net.schedule net ~delay:3 pump
+          | Some op ->
+              incr submitted;
+              let nodes =
+                List.sort_uniq compare
+                  (Workload.request_site tree op :: Workload.touched tree op)
+              in
+              List.iter (fun v -> Hashtbl.replace reserved v ()) nodes;
+              Estimator.Name_assignment.submit na op ~k:(fun () ->
+                  List.iter (Hashtbl.remove reserved) nodes;
+                  pump ())
+      in
+      for _ = 1 to 4 do
+        pump ()
+      done;
+      Net.run net;
+      let total = Net.messages net + Estimator.Name_assignment.overhead_messages na in
+      Format.printf "%6d %9d %8d %12s %14.1f %12.3f@." n0 changes
+        (Estimator.Name_assignment.epochs na)
+        (Stats.pretty_int total)
+        (float_of_int total /. float_of_int changes)
+        (Estimator.Name_assignment.max_id_ever_ratio na))
+    [ 64; 128; 256; 512; 1024 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: Theorem 5.4 - heavy-child decomposition                         *)
+
+let e8 () =
+  section "E8" "Theorem 5.4: heavy-child decomposition - light ancestors are O(log n)";
+  Format.printf "%20s %9s %8s %8s %14s %16s@." "shape" "changes" "n" "worst"
+    "log_{4/3} SW" "messages";
+  List.iter
+    (fun (shape, mix, changes) ->
+      let rng = Rng.create ~seed:110 in
+      let tree = Workload.Shape.build rng shape in
+      let hc = Estimator.Heavy_child.create ~tree () in
+      let wl = Workload.make ~seed:111 ~mix () in
+      for _ = 1 to changes do
+        Estimator.Heavy_child.submit hc (Workload.next_op wl tree)
+      done;
+      let sw_root =
+        Estimator.Subtree_estimator.super_weight (Estimator.Heavy_child.estimator hc) 0
+      in
+      Format.printf "%20s %9d %8d %8d %14.1f %16s@."
+        (Workload.Shape.name shape)
+        changes (Dtree.size tree)
+        (Estimator.Heavy_child.max_light_ancestors hc)
+        (log (float_of_int (max 2 sw_root)) /. log (4.0 /. 3.0))
+        (Stats.pretty_int (Estimator.Heavy_child.messages hc)))
+    [
+      (Workload.Shape.Random 256, Workload.Mix.churn, 512);
+      (Workload.Shape.Random 1024, Workload.Mix.churn, 1024);
+      (Workload.Shape.Path 512, Workload.Mix.grow_only, 512);
+      (Workload.Shape.Balanced (2, 1023), Workload.Mix.churn, 1024);
+      (Workload.Shape.Star 512, Workload.Mix.churn, 512);
+      (Workload.Shape.Caterpillar 512, Workload.Mix.shrink_heavy, 512);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E9: Corollary 5.7 - dynamic ancestry labeling                       *)
+
+let e9 () =
+  section "E9" "Corollary 5.7: ancestry labels stay log n + O(1) bits under churn";
+  Format.printf "%6s %9s %8s %10s %12s %12s %14s@." "n0" "changes" "n" "relabels"
+    "label bits" "2 log n" "messages";
+  List.iter
+    (fun n0 ->
+      let changes = 2 * n0 in
+      let rng = Rng.create ~seed:(120 + n0) in
+      let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
+      let al = Estimator.Ancestry_labeling.create ~tree () in
+      let wl = Workload.make ~seed:121 ~mix:Workload.Mix.churn () in
+      for _ = 1 to changes do
+        Estimator.Ancestry_labeling.submit al (Workload.next_op wl tree)
+      done;
+      Format.printf "%6d %9d %8d %10d %12d %12d %14s@." n0 changes (Dtree.size tree)
+        (Estimator.Ancestry_labeling.relabels al)
+        (Estimator.Ancestry_labeling.label_bits al)
+        (2 * Stats.ceil_log2 (max 2 (Dtree.size tree)))
+        (Stats.pretty_int (Estimator.Ancestry_labeling.messages al)))
+    [ 64; 128; 256; 512; 1024 ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: Claim 4.8 - whiteboard memory                                  *)
+
+let e10 () =
+  section "E10" "Claim 4.8: whiteboard memory O(deg(v) log N + log^3 N + log^2 U) bits";
+  Format.printf "%20s %6s %14s %14s@." "shape" "n0" "max wb bits" "claim bound";
+  List.iter
+    (fun (shape, n0) ->
+      let m = n0 and w = max 1 (n0 / 8) in
+      let requests = n0 in
+      let stats =
+        Dist_harness.run ~seed:(130 + n0) ~concurrency:8 ~shape
+          ~mix:Workload.Mix.churn ~m ~w ~requests ()
+      in
+      let nmax = n0 + requests in
+      let log_n = Stats.ceil_log2 (max 2 nmax) and log_u = Stats.ceil_log2 (max 2 nmax) in
+      (* the queue term deg(v) log N is bounded by concurrency here *)
+      let bound = (16 * log_n) + (log_n * log_n * log_n) + (log_u * log_u) in
+      Format.printf "%20s %6d %14d %14d@." (Workload.Shape.name shape) n0
+        stats.Dist_harness.max_wb_bits bound)
+    [
+      (Workload.Shape.Random 256, 256);
+      (Workload.Shape.Star 256, 256);
+      (Workload.Shape.Path 256, 256);
+      (Workload.Shape.Random 1024, 1024);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E11: Section 5.4 - extended labeling schemes (routing, NCA, distance) *)
+
+let e11 () =
+  section "E11" "Section 5.4: routing, NCA and distance labeling under controlled dynamics";
+  Format.printf "%10s %6s %9s %12s %12s %12s %10s@." "scheme" "n0" "changes"
+    "label bits" "bound-ish" "messages" "relabels";
+  (* routing and NCA under churn *)
+  List.iter
+    (fun n0 ->
+      let changes = 2 * n0 in
+      let rng = Rng.create ~seed:(140 + n0) in
+      let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
+      let tr = Estimator.Tree_routing.create ~tree () in
+      let wl = Workload.make ~seed:141 ~mix:Workload.Mix.churn () in
+      for _ = 1 to changes do
+        Estimator.Tree_routing.submit tr (Workload.next_op wl tree)
+      done;
+      Format.printf "%10s %6d %9d %12d %12d %12s %10d@." "routing" n0 changes
+        (Estimator.Tree_routing.address_bits tr)
+        (2 * Stats.ceil_log2 (max 2 (Dtree.size tree)))
+        (Stats.pretty_int (Estimator.Tree_routing.messages tr))
+        (Estimator.Tree_routing.relabels tr))
+    [ 128; 512 ];
+  List.iter
+    (fun n0 ->
+      let changes = 2 * n0 in
+      let rng = Rng.create ~seed:(150 + n0) in
+      let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
+      let nl = Estimator.Nca_labeling.create ~tree () in
+      let leaf_mix =
+        {
+          Workload.Mix.add_leaf = 0.5;
+          remove_leaf = 0.5;
+          add_internal = 0.0;
+          remove_internal = 0.0;
+          non_topological = 0.0;
+        }
+      in
+      let wl = Workload.make ~seed:151 ~mix:leaf_mix () in
+      for _ = 1 to changes do
+        Estimator.Nca_labeling.submit nl (Workload.next_op wl tree)
+      done;
+      Format.printf "%10s %6d %9d %12d %12d %12s %10d@." "nca" n0 changes
+        (Estimator.Nca_labeling.max_label_bits nl)
+        (let lg = Stats.ceil_log2 (max 2 (Dtree.size tree)) in
+         2 * lg * (lg + 1))
+        (Stats.pretty_int (Estimator.Nca_labeling.messages nl))
+        (Estimator.Nca_labeling.relabels nl))
+    [ 128; 512 ];
+  (* distance labels under pure shrinking, the corollary's scope *)
+  List.iter
+    (fun n0 ->
+      let rng = Rng.create ~seed:(160 + n0) in
+      let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
+      let dl = Estimator.Distance_labeling.create ~tree () in
+      let deleted = ref 0 in
+      while Dtree.size tree > n0 / 8 do
+        match Dtree.leaves tree with
+        | leaf :: _ when leaf <> Dtree.root tree ->
+            Estimator.Distance_labeling.submit dl (Workload.Remove_leaf leaf);
+            incr deleted
+        | _ -> ()
+      done;
+      Format.printf "%10s %6d %9d %12d %12d %12s %10d@." "distance" n0 !deleted
+        (Estimator.Distance_labeling.max_label_bits dl)
+        (let lg = Stats.ceil_log2 (max 2 (Dtree.size tree)) in
+         2 * lg * (lg + 1))
+        (Stats.pretty_int (Estimator.Distance_labeling.messages dl))
+        (Estimator.Distance_labeling.relabels dl))
+    [ 128; 512 ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: ablation - the psi geometry of Section 3.1                      *)
+
+let e12 () =
+  section "E12" "ablation: scaling the paper's psi distance unit";
+  Format.printf
+    "deep path (4096), grow-only deep-biased, M = 2048, W = M/2, single fixed-U@.";
+  Format.printf
+    "controller run to exhaustion. Shrinking psi cheapens walks but voids the@.";
+  Format.printf
+    "waste analysis (liveness window can break); growing it degrades towards the@.";
+  Format.printf "trivial root-walk controller@.@.";
+  Format.printf "%10s %8s %12s %12s %12s %14s@." "psi scale" "psi" "moves" "granted"
+    "leftover" "window kept";
+  let n0 = 4096 and m = 2048 in
+  let w = m / 2 in
+  List.iter
+    (fun scale ->
+      let rng = Rng.create ~seed:171 in
+      let tree = Workload.Shape.build rng (Workload.Shape.Path n0) in
+      let u = n0 + m + 64 in
+      let params = Params.make_scaled ~psi_scale:scale ~m ~w ~u in
+      let c = Central.create ~reject_mode:Types.Report ~params ~tree () in
+      let wl = Workload.make ~seed:172 ~deep_bias:true ~mix:Workload.Mix.grow_only () in
+      let exhausted = ref false in
+      while not !exhausted do
+        match Central.request c (Workload.next_op wl tree) with
+        | Types.Granted -> ()
+        | Types.Exhausted -> exhausted := true
+        | Types.Rejected -> assert false
+      done;
+      Format.printf "%10.2f %8d %12s %12d %12d %14s@." scale params.Params.psi
+        (Stats.pretty_int (Central.moves c))
+        (Central.granted c) (Central.leftover c)
+        (if Central.granted c >= m - w then "yes" else "NO"))
+    [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* E13: ablation - request concurrency in the distributed controller   *)
+
+let e13 () =
+  section "E13" "ablation: distributed request concurrency";
+  Format.printf
+    "churn, n0 = 256, M = 512 (ample); lock waiting costs time, not messages:@.";
+  Format.printf "message counts stay flat while completion time drops@.@.";
+  Format.printf "%12s %10s %12s %12s@." "concurrency" "granted" "messages" "sim time";
+  List.iter
+    (fun conc ->
+      let stats =
+        Dist_harness.run ~seed:181 ~concurrency:conc ~shape:(Workload.Shape.Random 256)
+          ~mix:Workload.Mix.churn ~m:512 ~w:64 ~requests:400 ()
+      in
+      Format.printf "%12d %10d %12s %12s@." conc stats.Dist_harness.granted
+        (Stats.pretty_int stats.Dist_harness.messages)
+        (Stats.pretty_int stats.Dist_harness.sim_time))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+            ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+            ("e11", e11); ("e12", e12); ("e13", e13) ]

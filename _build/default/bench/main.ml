@@ -1,0 +1,100 @@
+(* Benchmark harness: experiments E1-E10 (one per quantitative claim of the
+   paper; see DESIGN.md and EXPERIMENTS.md) plus Bechamel micro-benchmarks
+   of the hot operations.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e3 e5   # selected experiments
+     dune exec bench/main.exe -- micro   # micro-benchmarks only *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let open Controller in
+  let path_tree n =
+    let rng = Rng.create ~seed:7 in
+    Workload.Shape.build rng (Workload.Shape.Path n)
+  in
+  let t_dtree =
+    Test.make ~name:"dtree: add+remove leaf"
+      (Staged.stage
+         (let tree = Dtree.create () in
+          fun () ->
+            let v = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+            Dtree.remove_leaf tree v))
+  in
+  let t_ancestor =
+    Test.make ~name:"dtree: ancestor walk (depth 512)"
+      (Staged.stage
+         (let tree = path_tree 513 in
+          let leaf = List.hd (Dtree.leaves tree) in
+          fun () -> ignore (Dtree.ancestor_at tree leaf 512)))
+  in
+  let t_rng =
+    Test.make ~name:"rng: bounded int"
+      (Staged.stage
+         (let rng = Rng.create ~seed:1 in
+          fun () -> ignore (Rng.int rng 1_000_000)))
+  in
+  let t_queue =
+    Test.make ~name:"event queue: add+pop"
+      (Staged.stage
+         (let q = Event_queue.create () in
+          let i = ref 0 in
+          fun () ->
+            incr i;
+            Event_queue.add q ~time:!i ();
+            ignore (Event_queue.pop q)))
+  in
+  let t_split =
+    Test.make ~name:"package: split level 10"
+      (Staged.stage
+         (let alloc = Package.allocator () in
+          let params = Params.make ~m:(1 lsl 14) ~w:4096 ~u:4096 in
+          fun () ->
+            let p = Package.create alloc ~params ~level:10 in
+            ignore (Package.split alloc p)))
+  in
+  let t_grant =
+    Test.make ~name:"controller: request (static hit)"
+      (Staged.stage
+         (let tree = path_tree 256 in
+          let params = Params.make ~m:10_000_000 ~w:(8 * 512) ~u:512 in
+          let c = Central.create ~params ~tree () in
+          let leaf = List.hd (Dtree.leaves tree) in
+          fun () -> ignore (Central.request c (Workload.Non_topological leaf))))
+  in
+  [ t_dtree; t_ancestor; t_rng; t_queue; t_split; t_grant ]
+
+let run_micro () =
+  Format.printf "@.%s@.micro-benchmarks (Bechamel, monotonic clock)@.%s@."
+    (String.make 78 '-') (String.make 78 '-');
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Format.printf "%-40s %12.1f ns/run@." name est
+          | _ -> Format.printf "%-40s (no estimate)@." name)
+        results)
+    (micro_tests ())
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wanted = if args = [] then List.map fst Experiments.all @ [ "micro" ] else args in
+  List.iter
+    (fun name ->
+      if name = "micro" then run_micro ()
+      else
+        match List.assoc_opt name Experiments.all with
+        | Some f -> f ()
+        | None -> Format.printf "unknown experiment %S (have: e1..e13, micro)@." name)
+    wanted;
+  Format.printf "@."

@@ -1,0 +1,265 @@
+(* ctrl_sim: drive the dynamic-network controllers and estimators from the
+   command line.
+
+     dune exec bin/ctrl_sim.exe -- run --controller adaptive --shape random \
+       --n0 256 --requests 2000 --mix churn --budget 1024 --waste 64
+     dune exec bin/ctrl_sim.exe -- size-est --n0 200 --changes 1000 --beta 2.0
+     dune exec bin/ctrl_sim.exe -- names --n0 200 --changes 1000
+     dune exec bin/ctrl_sim.exe -- trace capture --out /tmp/x.trace --steps 500
+     dune exec bin/ctrl_sim.exe -- trace run --in /tmp/x.trace --budget 300 *)
+
+open Cmdliner
+open Controller
+
+(* ------------------------------------------------------------------ *)
+(* shared argument parsing                                             *)
+
+let shape_of ~n = function
+  | "path" -> Workload.Shape.Path n
+  | "star" -> Workload.Shape.Star n
+  | "random" -> Workload.Shape.Random n
+  | "balanced" -> Workload.Shape.Balanced (2, n)
+  | "caterpillar" -> Workload.Shape.Caterpillar n
+  | s -> invalid_arg ("unknown shape: " ^ s)
+
+let mix_of = function
+  | "grow" -> Workload.Mix.grow_only
+  | "churn" -> Workload.Mix.churn
+  | "shrink" -> Workload.Mix.shrink_heavy
+  | "events" -> Workload.Mix.mixed_events
+  | s -> invalid_arg ("unknown mix: " ^ s)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"enable debug logging")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  if verbose then Logs.Src.set_level Controller.Central.log_src (Some Logs.Debug)
+
+let shape_arg =
+  Arg.(value & opt string "random"
+       & info [ "shape" ] ~doc:"path|star|random|balanced|caterpillar")
+
+let mix_arg =
+  Arg.(value & opt string "churn" & info [ "mix" ] ~doc:"grow|churn|shrink|events")
+
+let n0_arg = Arg.(value & opt int 128 & info [ "n0" ] ~doc:"initial network size")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
+let budget_arg = Arg.(value & opt int 512 & info [ "budget"; "m" ] ~doc:"permit budget M")
+let waste_arg = Arg.(value & opt int 64 & info [ "waste"; "w" ] ~doc:"waste bound W")
+
+(* ------------------------------------------------------------------ *)
+(* run: controllers                                                    *)
+
+let run_centralized request moves tree ~seed ~mix ~requests =
+  let wl = Workload.make ~seed ~mix () in
+  let granted = ref 0 and rejected = ref 0 in
+  for _ = 1 to requests do
+    match request (Workload.next_op wl tree) with
+    | Types.Granted -> incr granted
+    | Types.Rejected | Types.Exhausted -> incr rejected
+  done;
+  Format.printf "granted          %s@." (Stats.pretty_int !granted);
+  Format.printf "rejected         %s@." (Stats.pretty_int !rejected);
+  Format.printf "move complexity  %s@." (Stats.pretty_int (moves ()));
+  Format.printf "final size       %s@." (Stats.pretty_int (Dtree.size tree))
+
+let run_main verbose kind_s shape_s mix_s n0 requests m w seed =
+  setup_logs verbose;
+  let mix = mix_of mix_s in
+  let rng = Rng.create ~seed in
+  let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
+  let u = n0 + requests in
+  Format.printf "controller=%s shape=%s mix=%s n0=%d requests=%d M=%d W=%d U=%d@.@."
+    kind_s shape_s mix_s n0 requests m w u;
+  (match kind_s with
+  | "central" ->
+      let c = Central.create ~params:(Params.make ~m ~w:(max 1 w) ~u) ~tree () in
+      run_centralized (Central.request c) (fun () -> Central.moves c) tree ~seed ~mix ~requests
+  | "iterated" ->
+      let c = Iterated.create ~m ~w ~u ~tree () in
+      run_centralized (Iterated.request c) (fun () -> Iterated.moves c) tree ~seed ~mix ~requests
+  | "adaptive" ->
+      let c = Adaptive.create ~m ~w ~tree () in
+      run_centralized (Adaptive.request c) (fun () -> Adaptive.moves c) tree ~seed ~mix ~requests
+  | "trivial" ->
+      let c = Baseline_trivial.create ~m ~tree in
+      run_centralized (Baseline_trivial.request c)
+        (fun () -> Baseline_trivial.moves c)
+        tree ~seed ~mix ~requests
+  | "aaps" ->
+      let c = Baseline_aaps.Iterated.create ~m ~w ~u ~tree () in
+      run_centralized
+        (Baseline_aaps.Iterated.request c)
+        (fun () -> Baseline_aaps.Iterated.moves c)
+        tree ~seed ~mix ~requests
+  | "dist" ->
+      let stats =
+        Dist_harness.run ~seed ~shape:(shape_of ~n:n0 shape_s) ~mix ~m ~w ~requests ()
+      in
+      Format.printf "%a@." Dist_harness.pp_stats stats
+  | "dist-adaptive" ->
+      let net = Net.create ~seed:(seed + 1) ~tree () in
+      let da = Dist_adaptive.create ~m ~w ~net () in
+      let g, r, _ =
+        Dist_harness.run_on ~seed ~net ~mix ~requests ~submit:(Dist_adaptive.submit da) ()
+      in
+      Format.printf "granted %d rejected %d epochs %d messages %s (+%s overhead)@." g r
+        (Dist_adaptive.epochs da)
+        (Stats.pretty_int (Net.messages net))
+        (Stats.pretty_int (Dist_adaptive.overhead_messages da))
+  | s -> invalid_arg ("unknown controller: " ^ s));
+  0
+
+let run_cmd =
+  let kind =
+    Arg.(value & opt string "adaptive"
+         & info [ "controller" ]
+             ~doc:"central|iterated|adaptive|trivial|aaps|dist|dist-adaptive")
+  in
+  let requests = Arg.(value & opt int 1000 & info [ "requests" ] ~doc:"number of requests") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"run an (M,W)-controller on a generated scenario")
+    Term.(const run_main $ verbose_arg $ kind $ shape_arg $ mix_arg $ n0_arg $ requests
+          $ budget_arg $ waste_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* size-est and names: the Section 5 protocols                         *)
+
+let drive_estimator ~seed ~mix ~changes ~net ~tree ~submit =
+  let wl = Workload.make ~seed:(seed + 2) ~mix () in
+  let reserved = Hashtbl.create 16 in
+  let submitted = ref 0 in
+  let rec pump () =
+    if !submitted < changes then
+      match Workload.next_op_avoiding wl tree ~forbidden:(Hashtbl.mem reserved) with
+      | None -> Net.schedule net ~delay:3 pump
+      | Some op ->
+          incr submitted;
+          let nodes =
+            List.sort_uniq compare
+              (Workload.request_site tree op :: Workload.touched tree op)
+          in
+          List.iter (fun v -> Hashtbl.replace reserved v ()) nodes;
+          submit op ~k:(fun () ->
+              List.iter (Hashtbl.remove reserved) nodes;
+              pump ())
+  in
+  for _ = 1 to 4 do
+    pump ()
+  done;
+  Net.run net
+
+let size_est_main shape_s mix_s n0 changes beta seed =
+  let rng = Rng.create ~seed in
+  let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
+  let net = Net.create ~seed:(seed + 1) ~tree () in
+  let se = Estimator.Size_estimation.create ~beta ~net () in
+  drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
+    ~submit:(Estimator.Size_estimation.submit se);
+  Format.printf
+    "size estimation: %d changes, %d epochs, estimate %d vs true %d, %s messages (+%s overhead)@."
+    (Estimator.Size_estimation.changes se)
+    (Estimator.Size_estimation.epochs se)
+    (Estimator.Size_estimation.estimate se (Dtree.root tree))
+    (Dtree.size tree)
+    (Stats.pretty_int (Net.messages net))
+    (Stats.pretty_int (Estimator.Size_estimation.overhead_messages se));
+  0
+
+let size_est_cmd =
+  let changes = Arg.(value & opt int 500 & info [ "changes" ] ~doc:"topological changes") in
+  let beta = Arg.(value & opt float 2.0 & info [ "beta" ] ~doc:"approximation factor") in
+  Cmd.v
+    (Cmd.info "size-est" ~doc:"run the Theorem 5.1 size-estimation protocol")
+    Term.(const size_est_main $ shape_arg $ mix_arg $ n0_arg $ changes $ beta $ seed_arg)
+
+let names_main shape_s mix_s n0 changes seed =
+  let rng = Rng.create ~seed in
+  let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
+  let net = Net.create ~seed:(seed + 1) ~tree () in
+  let na = Estimator.Name_assignment.create ~net () in
+  drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
+    ~submit:(Estimator.Name_assignment.submit na);
+  let ids = Estimator.Name_assignment.ids na in
+  let max_id = List.fold_left (fun acc (_, i) -> max acc i) 0 ids in
+  Format.printf
+    "name assignment: %d nodes named in [1, %d] (max ever ratio %.2f <= 4), %d epochs, %s messages (+%s overhead)@."
+    (List.length ids) max_id
+    (Estimator.Name_assignment.max_id_ever_ratio na)
+    (Estimator.Name_assignment.epochs na)
+    (Stats.pretty_int (Net.messages net))
+    (Stats.pretty_int (Estimator.Name_assignment.overhead_messages na));
+  0
+
+let names_cmd =
+  let changes = Arg.(value & opt int 500 & info [ "changes" ] ~doc:"topological changes") in
+  Cmd.v
+    (Cmd.info "names" ~doc:"run the Theorem 5.2 name-assignment protocol")
+    Term.(const names_main $ shape_arg $ mix_arg $ n0_arg $ changes $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace: capture and replay scenarios                                 *)
+
+let trace_capture_main shape_s mix_s n0 steps seed out =
+  let t =
+    Workload.Trace.capture ~seed ~shape:(shape_of ~n:n0 shape_s) ~mix:(mix_of mix_s)
+      ~steps ()
+  in
+  Workload.Trace.save t out;
+  Format.printf "captured %d ops over %s into %s@." steps shape_s out;
+  0
+
+let trace_capture_cmd =
+  let steps = Arg.(value & opt int 500 & info [ "steps" ] ~doc:"ops to capture") in
+  let out = Arg.(required & opt (some string) None & info [ "out" ] ~doc:"output file") in
+  Cmd.v
+    (Cmd.info "capture" ~doc:"record a scenario trace")
+    Term.(const trace_capture_main $ shape_arg $ mix_arg $ n0_arg $ steps $ seed_arg $ out)
+
+let trace_run_main input m w =
+  let t = Workload.Trace.load input in
+  let ctrl_ref = ref None in
+  let granted = ref 0 and rejected = ref 0 in
+  let final =
+    Workload.Trace.replay t ~f:(fun tree op ->
+        let ctrl =
+          match !ctrl_ref with
+          | Some c -> c
+          | None ->
+              let c = Adaptive.create ~m ~w ~tree () in
+              ctrl_ref := Some c;
+              c
+        in
+        match Adaptive.request ctrl op with
+        | Types.Granted -> incr granted
+        | Types.Rejected | Types.Exhausted -> incr rejected)
+  in
+  (match !ctrl_ref with
+  | Some c ->
+      Format.printf "replayed %d ops: granted %d, rejected %d, moves %s, final size %d@."
+        (List.length t.Workload.Trace.ops)
+        !granted !rejected
+        (Stats.pretty_int (Adaptive.moves c))
+        (Dtree.size final)
+  | None -> Format.printf "empty trace@.");
+  0
+
+let trace_run_cmd =
+  let input = Arg.(required & opt (some string) None & info [ "in" ] ~doc:"trace file") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"replay a trace against the adaptive controller")
+    Term.(const trace_run_main $ input $ budget_arg $ waste_arg)
+
+let trace_cmd =
+  Cmd.group (Cmd.info "trace" ~doc:"record and replay scenario traces")
+    [ trace_capture_cmd; trace_run_cmd ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "dynamic-network (M,W)-controllers and estimators" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "ctrl_sim" ~doc)
+          [ run_cmd; size_est_cmd; names_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/census.ml: Dtree Estimator Format List Net Rng Stats Workload

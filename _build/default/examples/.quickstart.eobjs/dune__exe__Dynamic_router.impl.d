@@ -1,0 +1,1 @@
+examples/dynamic_router.ml: Array Dtree Estimator Format List Printf Rng Stats Workload

@@ -1,0 +1,1 @@
+examples/dynamic_router.mli:

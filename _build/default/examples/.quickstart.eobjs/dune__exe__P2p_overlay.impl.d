@@ -1,0 +1,1 @@
+examples/p2p_overlay.ml: Dtree Estimator Format Hashtbl List Net Rng Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adaptive Array Controller Dtree Format Rng Types Workload

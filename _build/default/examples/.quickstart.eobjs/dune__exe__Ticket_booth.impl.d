@@ -1,0 +1,1 @@
+examples/ticket_booth.ml: Baseline_trivial Controller Format Iterated List Rng Stats Types Workload

@@ -1,0 +1,1 @@
+examples/ticket_booth.mli:

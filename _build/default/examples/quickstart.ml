@@ -1,0 +1,39 @@
+(* Quickstart: run the (M,W)-controller over a small dynamic tree.
+
+   A 20-node network is spanned by a random tree; we ask the controller for
+   permits to perform a stream of topological changes (leaf/internal
+   insertions and deletions). The controller grants at most M = 30 permits;
+   once it starts rejecting, at least M - W = 25 events have happened.
+
+     dune exec examples/quickstart.exe *)
+
+open Controller
+
+let () =
+  let rng = Rng.create ~seed:2026 in
+  let tree = Workload.Shape.build rng (Workload.Shape.Random 20) in
+  Format.printf "initial network: %d nodes@." (Dtree.size tree);
+
+  (* An adaptive (M,W)-controller: no bound on the eventual network size is
+     needed (Theorem 3.5). *)
+  let m = 30 and w = 5 in
+  let ctrl = Adaptive.create ~m ~w ~tree () in
+
+  let workload = Workload.make ~seed:7 ~mix:Workload.Mix.churn () in
+  let outcomes = Array.make 40 Types.Rejected in
+  for i = 0 to 39 do
+    let op = Workload.next_op workload tree in
+    let outcome = Adaptive.request ctrl op in
+    outcomes.(i) <- outcome;
+    Format.printf "request %2d: %-28s -> %a@." (i + 1)
+      (Format.asprintf "%a" Workload.pp_op op)
+      Types.pp_outcome outcome
+  done;
+
+  Format.printf "@.granted %d of at most M = %d (W = %d, so at least %d)@."
+    (Adaptive.granted ctrl) m w (m - w);
+  Format.printf "final network: %d nodes, move complexity %d@."
+    (Dtree.size tree) (Adaptive.moves ctrl);
+  assert (Adaptive.granted ctrl <= m);
+  assert (Adaptive.granted ctrl >= m - w);
+  Format.printf "safety and liveness hold.@."

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Dtree Iterated Types Workload

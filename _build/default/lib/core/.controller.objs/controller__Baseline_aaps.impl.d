@@ -1,0 +1,1 @@
+lib/core/baseline_aaps.ml: Dtree Format Hashtbl Iterate List Option Params Stats Types Workload

@@ -1,0 +1,1 @@
+lib/core/baseline_aaps.mli: Dtree Iterate Params Types Workload

@@ -1,0 +1,1 @@
+lib/core/baseline_trivial.ml: Dtree Format Types Workload

@@ -1,0 +1,1 @@
+lib/core/baseline_trivial.mli: Dtree Types Workload

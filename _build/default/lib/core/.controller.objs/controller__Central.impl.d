@@ -1,0 +1,1 @@
+lib/core/central.ml: Domain_tracker Dtree Format Hashtbl List Logs Package Params Store Types Workload

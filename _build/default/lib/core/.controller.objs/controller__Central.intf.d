@@ -1,0 +1,1 @@
+lib/core/central.mli: Dtree Logs Package Params Store Types Workload

@@ -1,0 +1,1 @@
+lib/core/dist.ml: Array Central Dtree Format Hashtbl List Net Params Queue Stats Types Workload

@@ -1,0 +1,1 @@
+lib/core/dist.mli: Dtree Net Params Types Workload

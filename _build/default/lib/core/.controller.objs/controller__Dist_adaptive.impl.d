@@ -1,0 +1,1 @@
+lib/core/dist_adaptive.ml: Central Dist Dtree Net Params Queue Types Workload

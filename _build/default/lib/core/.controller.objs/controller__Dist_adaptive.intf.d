@@ -1,0 +1,1 @@
+lib/core/dist_adaptive.mli: Net Types Workload

@@ -1,0 +1,1 @@
+lib/core/dist_harness.ml: Dist Dtree Format Hashtbl List Net Option Params Rng Types Workload

@@ -1,0 +1,1 @@
+lib/core/dist_harness.mli: Dist Format Net Types Workload

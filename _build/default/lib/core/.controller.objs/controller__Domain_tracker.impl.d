@@ -1,0 +1,1 @@
+lib/core/domain_tracker.ml: Dtree Format Hashtbl List Package Params Printf

@@ -1,0 +1,1 @@
+lib/core/domain_tracker.mli: Dtree Package Params

@@ -1,0 +1,1 @@
+lib/core/iterate.ml: Dtree Params Types Workload

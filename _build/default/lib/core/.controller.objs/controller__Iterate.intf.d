@@ -1,0 +1,1 @@
+lib/core/iterate.mli: Dtree Params Types Workload

@@ -1,0 +1,1 @@
+lib/core/iterated.ml: Central Iterate Types

@@ -1,0 +1,1 @@
+lib/core/iterated.mli: Central Iterate

@@ -1,0 +1,1 @@
+lib/core/package.ml: Format Params

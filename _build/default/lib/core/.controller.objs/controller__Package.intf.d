@@ -1,0 +1,1 @@
+lib/core/package.mli: Format Params

@@ -1,0 +1,1 @@
+lib/core/store.ml: List Package Params Stats

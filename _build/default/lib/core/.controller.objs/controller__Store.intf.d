@@ -1,0 +1,1 @@
+lib/core/store.mli: Package Params

@@ -1,0 +1,1 @@
+lib/core/terminating.ml: Iterated Types

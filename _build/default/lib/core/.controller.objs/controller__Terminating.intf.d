@@ -1,0 +1,1 @@
+lib/core/terminating.mli: Central Dtree Workload

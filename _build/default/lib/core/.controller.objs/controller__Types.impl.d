@@ -1,0 +1,1 @@
+lib/core/types.ml: Format

@@ -1,0 +1,116 @@
+type variant = By_changes | By_doubling
+
+type t = {
+  tree : Dtree.t;
+  variant : variant;
+  w : int;
+  reject_mode : Types.reject_mode;
+  mutable inner : Iterated.t;
+  mutable m_i : int;
+  mutable u_i : int;
+  mutable z_i : int;  (* topological changes granted this epoch *)
+  mutable nmax : int;  (* maximum size ever seen (By_doubling) *)
+  mutable epoch_nmax : int;  (* nmax at the start of the current epoch *)
+  mutable done_moves : int;
+  mutable done_granted : int;
+  mutable rejected : int;
+  mutable epochs : int;
+  mutable wave_charged : bool;
+  mutable dead : bool;  (* true permit exhaustion: reject everything *)
+}
+
+let epoch_bound t m_i =
+  match t.variant with
+  | By_changes -> 2 * Dtree.size t.tree
+  | By_doubling -> (2 * t.nmax) + m_i
+
+let new_inner t m_i =
+  let u = max 2 (epoch_bound t m_i) in
+  t.u_i <- u;
+  Iterated.create ~reject_mode:Types.Report ~m:m_i ~w:t.w ~u ~tree:t.tree ()
+
+let create ?(variant = By_changes) ?(reject_mode = Types.Wave) ~m ~w ~tree () =
+  if m < 0 || w < 0 then invalid_arg "Adaptive.create: bad parameters";
+  let n0 = Dtree.size tree in
+  let u1 =
+    max 2 (match variant with By_changes -> 2 * n0 | By_doubling -> (2 * n0) + m)
+  in
+  {
+    tree;
+    variant;
+    w;
+    reject_mode;
+    inner = Iterated.create ~reject_mode:Types.Report ~m ~w ~u:u1 ~tree ();
+    m_i = m;
+    u_i = u1;
+    z_i = 0;
+    nmax = n0;
+    epoch_nmax = n0;
+    done_moves = 0;
+    done_granted = 0;
+    rejected = 0;
+    epochs = 0;
+    wave_charged = false;
+    dead = false;
+  }
+
+let is_topological = function
+  | Workload.Add_leaf _ | Workload.Remove_leaf _ | Workload.Add_internal _
+  | Workload.Remove_internal _ ->
+      true
+  | Workload.Non_topological _ -> false
+
+let epoch_over t =
+  match t.variant with
+  | By_changes -> t.z_i >= t.u_i / 4
+  | By_doubling -> Dtree.size t.tree >= 2 * t.epoch_nmax
+
+(* Close the epoch: reclaim unused permits, clear the data structure (free in
+   the centralized setting) and open the next epoch with a fresh bound. *)
+let rotate t =
+  let leftover = Iterated.leftover t.inner in
+  t.done_moves <- t.done_moves + Iterated.moves t.inner;
+  t.done_granted <- t.done_granted + Iterated.granted t.inner;
+  t.m_i <- leftover;
+  t.z_i <- 0;
+  t.epoch_nmax <- t.nmax;
+  t.epochs <- t.epochs + 1;
+  t.inner <- new_inner t leftover
+
+let reject t =
+  t.dead <- true;
+  match t.reject_mode with
+  | Types.Report -> Types.Exhausted
+  | Types.Wave ->
+      if not t.wave_charged then begin
+        t.wave_charged <- true;
+        t.done_moves <- t.done_moves + Dtree.size t.tree
+      end;
+      t.rejected <- t.rejected + 1;
+      Types.Rejected
+
+let request t op =
+  if t.dead then reject t
+  else
+    match Iterated.request t.inner op with
+    | Types.Granted ->
+        if is_topological op then begin
+          t.z_i <- t.z_i + 1;
+          t.nmax <- max t.nmax (Dtree.size t.tree)
+        end;
+        if epoch_over t then rotate t;
+        Types.Granted
+    | Types.Exhausted ->
+        (* Global permit exhaustion: the budget is spent to within W. *)
+        t.done_moves <- t.done_moves + Iterated.moves t.inner;
+        t.done_granted <- t.done_granted + Iterated.granted t.inner;
+        t.m_i <- Iterated.leftover t.inner;
+        reject t
+    | Types.Rejected -> assert false  (* inner runs in report mode *)
+
+let moves t = t.done_moves + if t.dead then 0 else Iterated.moves t.inner
+let granted t = t.done_granted + if t.dead then 0 else Iterated.granted t.inner
+let rejected t = t.rejected
+let leftover t = if t.dead then t.m_i else Iterated.leftover t.inner
+let epochs t = t.epochs
+let rejecting t = t.dead

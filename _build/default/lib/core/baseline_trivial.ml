@@ -1,0 +1,40 @@
+type t = {
+  tree : Dtree.t;
+  mutable storage : int;
+  mutable moves : int;
+  mutable granted : int;
+  mutable rejected : int;
+  mutable wave_charged : bool;
+}
+
+let create ~m ~tree =
+  if m < 0 then invalid_arg "Baseline_trivial.create: negative M";
+  { tree; storage = m; moves = 0; granted = 0; rejected = 0; wave_charged = false }
+
+let request t op =
+  if not (Workload.valid_op t.tree op) then
+    invalid_arg
+      (Format.asprintf "Baseline_trivial.request: invalid op %a" Workload.pp_op op);
+  let site = Workload.request_site t.tree op in
+  if t.storage > 0 then begin
+    (* One permit travels root -> site. *)
+    t.moves <- t.moves + Dtree.depth t.tree site;
+    t.storage <- t.storage - 1;
+    t.granted <- t.granted + 1;
+    Workload.apply t.tree op;
+    Types.Granted
+  end
+  else begin
+    if not t.wave_charged then begin
+      (* Reject wave, as in every controller with a reject wave. *)
+      t.wave_charged <- true;
+      t.moves <- t.moves + Dtree.size t.tree
+    end;
+    t.rejected <- t.rejected + 1;
+    Types.Rejected
+  end
+
+let moves t = t.moves
+let granted t = t.granted
+let rejected t = t.rejected
+let leftover t = t.storage

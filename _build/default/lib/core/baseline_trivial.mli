@@ -1,0 +1,15 @@
+(** The trivial [(M,0)]-controller used as the lower baseline throughout the
+    paper's introduction: every permit is moved directly from the root to the
+    requesting node, for a move complexity of [Theta (sum of depths)] —
+    [Omega (n M)] on deep trees. Handles the full dynamic model (the permit
+    walk needs no structure), so it is the only baseline available for
+    deletion-heavy workloads. *)
+
+type t
+
+val create : m:int -> tree:Dtree.t -> t
+val request : t -> Workload.op -> Types.outcome
+val moves : t -> int
+val granted : t -> int
+val rejected : t -> int
+val leftover : t -> int

@@ -1,0 +1,81 @@
+type stats = {
+  submitted : int;
+  granted : int;
+  rejected : int;
+  unanswered : int;
+  messages : int;
+  max_message_bits : int;
+  sim_time : int;
+  final_size : int;
+  max_wb_bits : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "submitted=%d granted=%d rejected=%d unanswered=%d messages=%d max_bits=%d time=%d n=%d"
+    s.submitted s.granted s.rejected s.unanswered s.messages s.max_message_bits
+    s.sim_time s.final_size
+
+let run_on ?(seed = 0xD1CE) ?(concurrency = 8) ~net ~mix ~requests ~submit () =
+  let tree = Net.tree net in
+  let wl = Workload.make ~seed:(seed + 7) ~mix () in
+  let reserved : (Dtree.node, int) Hashtbl.t = Hashtbl.create 32 in
+  let reserve v =
+    Hashtbl.replace reserved v (1 + Option.value ~default:0 (Hashtbl.find_opt reserved v))
+  in
+  let release v =
+    match Hashtbl.find_opt reserved v with
+    | Some 1 | None -> Hashtbl.remove reserved v
+    | Some n -> Hashtbl.replace reserved v (n - 1)
+  in
+  let submitted = ref 0 and granted = ref 0 and rejected = ref 0 and unanswered = ref 0 in
+  let net_for_retry = net in
+  let rec pump () =
+    if !submitted < requests then
+      match Workload.next_op_avoiding wl tree ~forbidden:(Hashtbl.mem reserved) with
+      | None ->
+          (* everything currently reserved by in-flight requests: retry *)
+          Net.schedule net_for_retry ~delay:3 pump
+      | Some op ->
+          incr submitted;
+          let nodes =
+            List.sort_uniq compare
+              (Workload.request_site tree op :: Workload.touched tree op)
+          in
+          List.iter reserve nodes;
+          submit op ~k:(fun outcome ->
+              List.iter release nodes;
+              (match outcome with
+              | Types.Granted -> incr granted
+              | Types.Rejected -> incr rejected
+              | Types.Exhausted -> incr unanswered);
+              pump ())
+  in
+  for _ = 1 to concurrency do
+    pump ()
+  done;
+  Net.run net;
+  (!granted, !rejected, !unanswered)
+
+let run ?(seed = 0xD1CE) ?(max_delay = 8) ?(concurrency = 8) ?config ~shape ~mix
+    ~m ~w ~requests () =
+  let rng = Rng.create ~seed in
+  let tree = Workload.Shape.build rng shape in
+  let u = Dtree.size tree + requests in
+  let net = Net.create ~seed:(seed + 1) ~max_delay ~tree () in
+  let params = Params.make ~m ~w:(max 1 w) ~u in
+  let d = Dist.create ?config ~params ~net () in
+  let granted, rejected, unanswered =
+    run_on ~seed ~concurrency ~net ~mix ~requests ~submit:(Dist.submit d) ()
+  in
+  {
+    submitted = requests;
+    granted;
+    rejected;
+    unanswered;
+    messages = Net.messages net;
+    max_message_bits = Net.max_message_bits net;
+    sim_time = Net.now net;
+    final_size = Dtree.size tree;
+    max_wb_bits = Dist.max_wb_bits d;
+  }

@@ -1,0 +1,50 @@
+(** Concurrent request driver for distributed controllers.
+
+    Keeps up to [concurrency] requests in flight, drawn from a workload
+    generator; requests never touch each other's nodes (a reservation set
+    feeds {!Workload.next_op_avoiding}), so every granted topological change
+    is still valid when it is applied — the "graceful" discipline of
+    Section 4.2 at the driver level. *)
+
+type stats = {
+  submitted : int;
+  granted : int;
+  rejected : int;
+  unanswered : int;  (** [Exhausted] answers (hold-mode epochs only) *)
+  messages : int;
+  max_message_bits : int;
+  sim_time : int;
+  final_size : int;
+  max_wb_bits : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val run :
+  ?seed:int ->
+  ?max_delay:int ->
+  ?concurrency:int ->
+  ?config:Dist.config ->
+  shape:Workload.Shape.t ->
+  mix:Workload.Mix.t ->
+  m:int ->
+  w:int ->
+  requests:int ->
+  unit ->
+  stats
+(** Build the tree, run a fixed-[U] distributed [(M,W)]-controller
+    ([U = n0 + requests]) against [requests] workload requests with the given
+    concurrency (default 8), drain the network, and report. *)
+
+val run_on :
+  ?seed:int ->
+  ?concurrency:int ->
+  net:Net.t ->
+  mix:Workload.Mix.t ->
+  requests:int ->
+  submit:(Workload.op -> k:(Types.outcome -> unit) -> unit) ->
+  unit ->
+  int * int * int
+(** Lower-level variant for orchestrated controllers (adaptive pairs,
+    estimators): drive [requests] through [submit] over an existing network,
+    returning [(granted, rejected, unanswered)]. *)

@@ -1,0 +1,168 @@
+module type BASE = sig
+  type t
+
+  val create : params:Params.t -> tree:Dtree.t -> t
+  val request : t -> Workload.op -> Types.outcome
+  val moves : t -> int
+  val granted : t -> int
+  val leftover : t -> int
+end
+
+module type S = sig
+  type t
+  type base
+
+  val create :
+    ?reject_mode:Types.reject_mode -> m:int -> w:int -> u:int -> tree:Dtree.t -> unit -> t
+
+  val create_custom :
+    ?reject_mode:Types.reject_mode ->
+    make_base:(m:int -> w:int -> base) ->
+    m:int ->
+    w:int ->
+    tree:Dtree.t ->
+    unit ->
+    t
+
+  val request : t -> Workload.op -> Types.outcome
+  val moves : t -> int
+  val granted : t -> int
+  val rejected : t -> int
+  val leftover : t -> int
+  val iterations : t -> int
+  val rejecting : t -> bool
+  val current_base : t -> base option
+end
+
+module Make (B : BASE) : S with type base = B.t = struct
+  type base = B.t
+  type stage =
+    | Inner of B.t * [ `Halving | `Final ] * int  (* stage budget *)
+    | Trivial  (** W = 0 endgame: [trivial_left] permits served from the root *)
+    | Rejecting
+
+  type t = {
+    tree : Dtree.t;
+    make_base : m:int -> w:int -> B.t;
+    w : int;
+    reject_mode : Types.reject_mode;
+    mutable stage : stage;
+    mutable trivial_left : int;
+    mutable done_moves : int;  (* moves of completed stages *)
+    mutable done_granted : int;
+    mutable rejected : int;
+    mutable iterations : int;
+    mutable wave_charged : bool;
+  }
+
+  (* Pick the stage serving a remaining budget of [m] permits. *)
+  let stage_for t m =
+    if m <= 0 then Rejecting
+    else if t.w >= 1 then
+      if m <= 2 * t.w then Inner (t.make_base ~m ~w:t.w, `Final, m)
+      else Inner (t.make_base ~m ~w:(m / 2), `Halving, m)
+    else if m = 1 then begin
+      t.trivial_left <- 1;
+      Trivial
+    end
+    else Inner (t.make_base ~m ~w:(m / 2), `Halving, m)
+
+  let create_custom ?(reject_mode = Types.Wave) ~make_base ~m ~w ~tree () =
+    if m < 0 || w < 0 then invalid_arg "Iterate.create: bad parameters";
+    let t =
+      {
+        tree;
+        make_base;
+        w;
+        reject_mode;
+        stage = Rejecting;
+        trivial_left = 0;
+        done_moves = 0;
+        done_granted = 0;
+        rejected = 0;
+        iterations = 0;
+        wave_charged = false;
+      }
+    in
+    t.stage <- stage_for t m;
+    t
+
+  let create ?reject_mode ~m ~w ~u ~tree () =
+    if u < 1 then invalid_arg "Iterate.create: bad parameters";
+    let make_base ~m ~w = B.create ~params:(Params.make ~m ~w ~u) ~tree in
+    create_custom ?reject_mode ~make_base ~m ~w ~tree ()
+
+  let charge_wave t =
+    if not t.wave_charged then begin
+      t.wave_charged <- true;
+      t.done_moves <- t.done_moves + Dtree.size t.tree
+    end
+
+  let rec request t op =
+    match t.stage with
+    | Rejecting -> (
+        match t.reject_mode with
+        | Types.Report -> Types.Exhausted
+        | Types.Wave ->
+            charge_wave t;
+            t.rejected <- t.rejected + 1;
+            Types.Rejected)
+    | Trivial ->
+        if t.trivial_left > 0 then begin
+          (* The (1,0)-controller: the last permit walks from the root to the
+             requester. *)
+          let site = Workload.request_site t.tree op in
+          t.done_moves <- t.done_moves + Dtree.depth t.tree site;
+          t.done_granted <- t.done_granted + 1;
+          t.trivial_left <- t.trivial_left - 1;
+          Workload.apply t.tree op;
+          Types.Granted
+        end
+        else begin
+          t.stage <- Rejecting;
+          request t op
+        end
+    | Inner (b, phase, budget) -> (
+        match B.request b op with
+        | Types.Granted -> Types.Granted
+        | Types.Rejected ->
+            (* Base controllers are run in report mode; they never reject. *)
+            assert false
+        | Types.Exhausted ->
+            let l = B.leftover b in
+            t.done_moves <- t.done_moves + B.moves b;
+            t.done_granted <- t.done_granted + B.granted b;
+            t.iterations <- t.iterations + 1;
+            t.stage <-
+              (match phase with
+              | `Final -> Rejecting
+              | `Halving when l >= budget ->
+                  (* No permit was granted this stage: re-running the same
+                     stage would loop. Escalate to the final stage (a base
+                     whose own liveness bound breaks down can land here;
+                     the paper's base never does). *)
+                  if l <= 0 then Rejecting
+                  else Inner (t.make_base ~m:l ~w:(max 1 t.w), `Final, l)
+              | `Halving -> stage_for t l);
+            request t op)
+
+  let moves t =
+    t.done_moves + (match t.stage with Inner (b, _, _) -> B.moves b | Trivial | Rejecting -> 0)
+
+  let granted t =
+    t.done_granted
+    + (match t.stage with Inner (b, _, _) -> B.granted b | Trivial | Rejecting -> 0)
+
+  let rejected t = t.rejected
+
+  let leftover t =
+    match t.stage with
+    | Inner (b, _, _) -> B.leftover b
+    | Trivial -> t.trivial_left
+    | Rejecting -> 0
+
+  let iterations t = t.iterations
+  let rejecting t = match t.stage with Rejecting -> true | Inner _ | Trivial -> false
+  let current_base t =
+    match t.stage with Inner (b, _, _) -> Some b | Trivial | Rejecting -> None
+end

@@ -1,0 +1,13 @@
+module Base = struct
+  type t = Central.t
+
+  let create ~params ~tree =
+    Central.create ~reject_mode:Types.Report ~params ~tree ()
+
+  let request = Central.request
+  let moves = Central.moves
+  let granted = Central.granted
+  let leftover = Central.leftover
+end
+
+include Iterate.Make (Base)

@@ -1,0 +1,6 @@
+(** The full centralized [(M,W)]-controller of Observation 3.4: the
+    Section 3.1 controller ({!Central}) run through the waste-halving
+    iteration ({!Iterate}), with move complexity
+    [O(U log^2 U log (M / (W+1)))] for a known bound [U]. *)
+
+include Iterate.S with type base = Central.t

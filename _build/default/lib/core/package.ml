@@ -1,0 +1,21 @@
+type t = { id : int; level : int; size : int }
+
+type allocator = { mutable next : int }
+
+let allocator () = { next = 0 }
+
+let fresh alloc ~level ~size =
+  let id = alloc.next in
+  alloc.next <- id + 1;
+  { id; level; size }
+
+let create alloc ~params ~level =
+  fresh alloc ~level ~size:(Params.mobile_size params level)
+
+let split alloc p =
+  if p.level < 1 then invalid_arg "Package.split: cannot split a level-0 package";
+  let half = p.size / 2 in
+  let level = p.level - 1 in
+  (fresh alloc ~level ~size:half, fresh alloc ~level ~size:(p.size - half))
+
+let pp ppf p = Format.fprintf ppf "pkg#%d(level %d, %d permits)" p.id p.level p.size

@@ -1,0 +1,24 @@
+(** Mobile permit packages (Section 3.1).
+
+    A mobile package of level [k] carries exactly [2^k * phi] permits. Static
+    packages are represented implicitly as a merged per-node permit count in
+    {!Store} (the paper's own memory-saving remark in Section 4.4.2: static
+    packages never move, so only their total matters); reject packages are a
+    per-node flag. Each mobile package has a unique identity so that the
+    analysis-only {!Domain_tracker} can follow it. *)
+
+type t = private { id : int; level : int; size : int }
+
+type allocator
+(** Source of fresh package identities. *)
+
+val allocator : unit -> allocator
+
+val create : allocator -> params:Params.t -> level:int -> t
+(** A fresh full package of the given level. *)
+
+val split : allocator -> t -> t * t
+(** Split a level-[k >= 1] package into two fresh level-[k-1] packages.
+    @raise Invalid_argument on a level-0 package. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type t = {
+  m : int;
+  w : int;
+  u : int;
+  phi : int;
+  psi : int;
+  max_level : int;
+}
+
+let make_scaled ~psi_scale ~m ~w ~u =
+  if m < 0 then invalid_arg "Params.make: M must be non-negative";
+  if w < 1 then invalid_arg "Params.make: base controller requires W >= 1";
+  if u < 1 then invalid_arg "Params.make: U must be positive";
+  if psi_scale <= 0.0 then invalid_arg "Params.make: psi_scale must be positive";
+  let phi = max (w / (2 * u)) 1 in
+  let psi = 4 * (Stats.ceil_log2 (max u 2) + 2) * max (Stats.ceil_div u w) 1 in
+  let psi =
+    if psi_scale = 1.0 then psi
+    else max 4 (4 * int_of_float (Float.round (psi_scale *. float_of_int psi /. 4.0)))
+  in
+  (* A level-k package has size 2^k * phi <= the root's whole budget is not
+     required; levels are bounded by the deepest possible requester, i.e. by
+     creation_level at distance u. *)
+  let rec lvl j = if (1 lsl (j + 1)) * psi >= u then j else lvl (j + 1) in
+  { m; w; u; phi; psi; max_level = max (lvl 0) 1 }
+
+let make ~m ~w ~u = make_scaled ~psi_scale:1.0 ~m ~w ~u
+
+let mobile_size p k = (1 lsl k) * p.phi
+
+let landing_distance p k =
+  (* 3 * 2^(k-1) * psi; psi is a multiple of 4 so k = 0 stays integral. *)
+  if k = 0 then 3 * p.psi / 2 else 3 * (1 lsl (k - 1)) * p.psi
+
+let domain_size p k = if k = 0 then p.psi / 2 else (1 lsl (k - 1)) * p.psi
+
+let filler_level_at p d =
+  if d <= 2 * p.psi then Some 0
+  else
+    let rec go j =
+      if j > p.max_level + 1 then None
+      else if (1 lsl j) * p.psi < d && d <= (1 lsl (j + 1)) * p.psi then Some j
+      else go (j + 1)
+    in
+    go 1
+
+let creation_level p d_root =
+  let rec go j = if d_root <= (1 lsl (j + 1)) * p.psi then j else go (j + 1) in
+  go 0
+
+let pp ppf p =
+  Format.fprintf ppf "(M=%d W=%d U=%d phi=%d psi=%d max_level=%d)" p.m p.w p.u
+    p.phi p.psi p.max_level

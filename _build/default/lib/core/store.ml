@@ -1,0 +1,69 @@
+type t = {
+  mutable mobiles : Package.t list;
+  mutable static : int;
+  mutable reject : bool;
+}
+
+let empty () = { mobiles = []; static = 0; reject = false }
+let mobiles t = t.mobiles
+let add_mobile t p = t.mobiles <- p :: t.mobiles
+
+let remove_mobile t (p : Package.t) =
+  let found = ref false in
+  t.mobiles <-
+    List.filter
+      (fun (q : Package.t) ->
+        if (not !found) && q.id = p.id then begin
+          found := true;
+          false
+        end
+        else true)
+      t.mobiles;
+  if not !found then invalid_arg "Store.remove_mobile: package not hosted here"
+
+let find_filler t ~params ~distance =
+  match Params.filler_level_at params distance with
+  | None -> None
+  | Some j ->
+      let candidates =
+        List.filter (fun (p : Package.t) -> p.level = j) t.mobiles
+      in
+      (match candidates with [] -> None | p :: _ -> Some p)
+
+let static t = t.static
+
+let add_static t n =
+  if n < 0 then invalid_arg "Store.add_static: negative amount";
+  t.static <- t.static + n
+
+let take_static t =
+  if t.static <= 0 then invalid_arg "Store.take_static: no static permit";
+  t.static <- t.static - 1
+
+let rejecting t = t.reject
+let set_rejecting t = t.reject <- true
+let is_empty t = t.mobiles = [] && t.static = 0 && not t.reject
+
+let permits t =
+  List.fold_left (fun acc (p : Package.t) -> acc + p.size) t.static t.mobiles
+
+let absorb parent child =
+  parent.mobiles <- child.mobiles @ parent.mobiles;
+  parent.static <- parent.static + child.static;
+  parent.reject <- parent.reject || child.reject;
+  child.mobiles <- [];
+  child.static <- 0;
+  child.reject <- false
+
+let memory_bits t ~u ~n =
+  let log_u = Stats.ceil_log2 (max u 2) in
+  let log_n = Stats.ceil_log2 (max n 2) in
+  let level_counter_bits =
+    (* one O(log U)-bit counter per distinct level hosted *)
+    let levels =
+      List.sort_uniq compare (List.map (fun (p : Package.t) -> p.level) t.mobiles)
+    in
+    List.length levels * log_u
+  in
+  let static_bits = if t.static > 0 then log_n * log_n * log_n else 0 in
+  level_counter_bits + static_bits + 1

@@ -1,0 +1,42 @@
+type outcome = Granted | Terminated
+
+type t = {
+  inner : Iterated.t;
+  mutable terminated : bool;
+  mutable queued : int;
+}
+
+let create ~m ~w ~u ~tree () =
+  {
+    inner = Iterated.create ~reject_mode:Types.Report ~m ~w ~u ~tree ();
+    terminated = false;
+    queued = 0;
+  }
+
+let create_custom ~make_base ~m ~w ~tree () =
+  {
+    inner = Iterated.create_custom ~reject_mode:Types.Report ~make_base ~m ~w ~tree ();
+    terminated = false;
+    queued = 0;
+  }
+
+let request t op =
+  if t.terminated then begin
+    t.queued <- t.queued + 1;
+    Terminated
+  end
+  else
+    match Iterated.request t.inner op with
+    | Types.Granted -> Granted
+    | Types.Exhausted ->
+        (* In the centralized setting all granted events have already
+           occurred, so the upcast of Observation 2.1 is immediate. *)
+        t.terminated <- true;
+        t.queued <- t.queued + 1;
+        Terminated
+    | Types.Rejected -> assert false
+
+let terminated t = t.terminated
+let granted t = Iterated.granted t.inner
+let moves t = Iterated.moves t.inner
+let queued t = t.queued

@@ -1,0 +1,33 @@
+(** Terminating [(M,W)]-controllers (Observation 2.1).
+
+    A terminating controller never rejects: requests that an
+    [(M,W)]-controller with a reject wave would have rejected are queued
+    unanswered; instead, once the wave would have started, the controller
+    {e terminates}. On termination the number of granted permits [m]
+    satisfies [M - W <= m <= M], all granted events have occurred, and no
+    further permit is ever granted.
+
+    The Section 5 applications run one terminating controller per epoch:
+    termination is their signal to recompute global quantities (size, names)
+    and start the next epoch. *)
+
+type outcome =
+  | Granted
+  | Terminated  (** the controller has terminated; the request stays queued *)
+
+type t
+
+val create : m:int -> w:int -> u:int -> tree:Dtree.t -> unit -> t
+(** Terminating controller over the fixed-[U] iterated controller. *)
+
+val create_custom :
+  make_base:(m:int -> w:int -> Central.t) -> m:int -> w:int -> tree:Dtree.t -> unit -> t
+(** Inject instrumented {!Central} bases (hooks, domain tracking). *)
+
+val request : t -> Workload.op -> outcome
+val terminated : t -> bool
+val granted : t -> int
+val moves : t -> int
+
+val queued : t -> int
+(** Requests received after (or triggering) termination. *)

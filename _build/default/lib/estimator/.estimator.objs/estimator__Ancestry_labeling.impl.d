@@ -1,0 +1,1 @@
+lib/estimator/ancestry_labeling.ml: Controller Dtree Hashtbl List Printf Stats Workload

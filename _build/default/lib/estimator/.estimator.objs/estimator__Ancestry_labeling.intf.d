@@ -1,0 +1,1 @@
+lib/estimator/ancestry_labeling.mli: Dtree Workload

@@ -1,0 +1,1 @@
+lib/estimator/distance_labeling.ml: Controller Dtree Format Hashtbl List Queue Stats Workload

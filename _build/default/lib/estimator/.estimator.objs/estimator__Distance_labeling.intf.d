@@ -1,0 +1,1 @@
+lib/estimator/distance_labeling.mli: Dtree Workload

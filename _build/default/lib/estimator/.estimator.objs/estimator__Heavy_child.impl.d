@@ -1,0 +1,1 @@
+lib/estimator/heavy_child.ml: Heavy_core Subtree_estimator

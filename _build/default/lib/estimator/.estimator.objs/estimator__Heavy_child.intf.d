@@ -1,0 +1,1 @@
+lib/estimator/heavy_child.mli: Dtree Subtree_estimator Workload

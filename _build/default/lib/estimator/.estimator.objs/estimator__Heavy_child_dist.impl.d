@@ -1,0 +1,1 @@
+lib/estimator/heavy_child_dist.ml: Heavy_core Net Subtree_estimator_dist

@@ -1,0 +1,1 @@
+lib/estimator/heavy_child_dist.mli: Dtree Net Subtree_estimator_dist Workload

@@ -1,0 +1,1 @@
+lib/estimator/heavy_core.ml: Dtree Hashtbl List Workload

@@ -1,0 +1,1 @@
+lib/estimator/heavy_core.mli: Dtree Workload

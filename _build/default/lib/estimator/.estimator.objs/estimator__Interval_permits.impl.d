@@ -1,0 +1,1 @@
+lib/estimator/interval_permits.ml: Controller Dtree Hashtbl List

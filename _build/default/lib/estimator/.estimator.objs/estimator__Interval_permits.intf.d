@@ -1,0 +1,1 @@
+lib/estimator/interval_permits.mli: Controller Dtree

@@ -1,0 +1,1 @@
+lib/estimator/majority_commit.mli: Dtree

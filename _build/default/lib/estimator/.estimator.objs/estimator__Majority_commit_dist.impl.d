@@ -1,0 +1,1 @@
+lib/estimator/majority_commit_dist.ml: Controller Dtree Hashtbl Majority_commit Net Queue Workload

@@ -1,0 +1,1 @@
+lib/estimator/majority_commit_dist.mli: Dtree Majority_commit Net

@@ -1,0 +1,1 @@
+lib/estimator/name_assignment.ml: Controller Dtree Hashtbl List Net Printf Queue Workload

@@ -1,0 +1,1 @@
+lib/estimator/name_assignment.mli: Dtree Net Workload

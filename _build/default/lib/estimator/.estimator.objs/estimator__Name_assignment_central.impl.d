@@ -1,0 +1,1 @@
+lib/estimator/name_assignment_central.ml: Controller Dtree Hashtbl Interval_permits List Printf Workload

@@ -1,0 +1,1 @@
+lib/estimator/name_assignment_central.mli: Dtree Workload

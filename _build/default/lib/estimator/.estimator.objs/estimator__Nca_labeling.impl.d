@@ -1,0 +1,1 @@
+lib/estimator/nca_labeling.ml: Array Controller Dtree Hashtbl List Stats Workload

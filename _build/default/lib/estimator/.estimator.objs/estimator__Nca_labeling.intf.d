@@ -1,0 +1,1 @@
+lib/estimator/nca_labeling.mli: Dtree Workload

@@ -1,0 +1,1 @@
+lib/estimator/size_estimation.ml: Controller Dtree Net Queue Workload

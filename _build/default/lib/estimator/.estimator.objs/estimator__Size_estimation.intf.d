@@ -1,0 +1,1 @@
+lib/estimator/size_estimation.mli: Dtree Net Workload

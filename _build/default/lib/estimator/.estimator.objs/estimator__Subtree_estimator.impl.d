@@ -1,0 +1,1 @@
+lib/estimator/subtree_estimator.ml: Controller Dtree Hashtbl List Option Workload

@@ -1,0 +1,1 @@
+lib/estimator/subtree_estimator.mli: Dtree Workload

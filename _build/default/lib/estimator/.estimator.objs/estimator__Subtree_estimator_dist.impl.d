@@ -1,0 +1,1 @@
+lib/estimator/subtree_estimator_dist.ml: Controller Dtree Hashtbl List Net Option Queue Workload

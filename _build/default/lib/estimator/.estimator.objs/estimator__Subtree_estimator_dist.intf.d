@@ -1,0 +1,1 @@
+lib/estimator/subtree_estimator_dist.mli: Dtree Net Workload

@@ -1,0 +1,1 @@
+lib/estimator/tree_routing.ml: Ancestry_labeling Dtree List Stats

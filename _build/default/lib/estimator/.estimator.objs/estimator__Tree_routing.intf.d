@@ -1,0 +1,1 @@
+lib/estimator/tree_routing.mli: Dtree Workload

@@ -1,0 +1,38 @@
+(** Dynamic ancestry labeling on trees (Corollary 5.7).
+
+    Each live node [v] holds a label [(low v, high v)]; [u] is an ancestor
+    of [v] iff [low u <= low v && high v <= high u] — answered from the two
+    labels alone, no communication. The labels stay asymptotically optimal
+    ([log n + O(1)] bits) under controlled insertions and deletions of both
+    leaves and internal nodes:
+
+    - {e deletions} never touch any label — the paper's key observation that
+      ancestry labels are unaffected by removals;
+    - an {e internal insertion} above [w] takes the two integers adjacent to
+      [w]'s label, an ordinary {e leaf insertion} two integers inside its
+      parent's gap;
+    - labels are reassigned by a DFS (charged [2n] messages) whenever the
+      size-estimation epoch rotates {e or} a local gap is exhausted; epoch
+      relabeling keeps the label range [O(n)], i.e. [log n + O(1)] bits. *)
+
+type t
+
+val create : tree:Dtree.t -> unit -> t
+
+val submit : t -> Workload.op -> unit
+(** Apply one controlled topological change, maintaining labels. *)
+
+val label : t -> Dtree.node -> int * int
+(** Current [(low, high)] label of a live node. *)
+
+val is_ancestor : t -> anc:Dtree.node -> desc:Dtree.node -> bool
+(** Answered from the two labels only. *)
+
+val label_bits : t -> int
+(** Bits needed for the largest label currently in use. *)
+
+val relabels : t -> int
+(** Number of full relabelings performed (epoch rotations plus forced). *)
+
+val messages : t -> int
+(** Controller moves plus relabeling broadcasts. *)

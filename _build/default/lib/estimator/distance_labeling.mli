@@ -1,0 +1,34 @@
+(** Exact distance labeling on trees under controlled shrinking
+    (Section 5.4, Observation 5.5 / Corollary 5.6).
+
+    The static scheme is the classic separator construction: a label lists,
+    for every centroid-separator ancestor in the recursive decomposition,
+    the separator's id and the node's distance to it — [O(log n)] entries of
+    [O(log n)] bits; [dist u v] is the minimum of
+    [d(u,s) + d(s,v)] over shared separators, exact on trees.
+
+    As the paper observes, deleting degree-one vertices never changes the
+    distance between surviving nodes, so the labels stay {e correct} for
+    free — but not {e small}: if the network shrinks from [n] to [m << n],
+    the optimal label size drops and the stale scheme wastes bits. Following
+    Corollary 5.6, a size-estimation epoch (here: the terminating-controller
+    rotation after [~n/2] deletions) triggers one recomputation, keeping
+    labels at [O(log² m)] bits for the current size [m] with amortized
+    [O(log² m)] messages per deletion. Only leaf removals and
+    non-topological events are supported — exactly the corollary's scope.
+    @raise Invalid_argument on other ops. *)
+
+type t
+
+val create : tree:Dtree.t -> unit -> t
+
+val submit : t -> Workload.op -> unit
+(** Apply one controlled leaf removal (or count a non-topological event). *)
+
+val dist : t -> Dtree.node -> Dtree.node -> int
+(** Exact tree distance, computed from the two labels alone. *)
+
+val label_entries : t -> Dtree.node -> int
+val max_label_bits : t -> int
+val relabels : t -> int
+val messages : t -> int

@@ -1,0 +1,125 @@
+(* The heavy-pointer maintenance of Theorem 5.4, shared by the centralized
+   and distributed subtree estimators. The estimator drives it through three
+   handlers ([on_change], [on_epoch], [on_applied]); it reads estimates back
+   through a closure installed once both sides exist. *)
+
+type t = {
+  tree : Dtree.t;
+  reports : (Dtree.node, (Dtree.node, int) Hashtbl.t) Hashtbl.t;
+      (* parent -> child -> last reported estimate *)
+  mu : (Dtree.node, Dtree.node) Hashtbl.t;
+  mutable report_messages : int;
+  mutable estimate : (Dtree.node -> int) option;
+}
+
+let create ~tree () =
+  {
+    tree;
+    reports = Hashtbl.create 64;
+    mu = Hashtbl.create 64;
+    report_messages = 0;
+    estimate = None;
+  }
+
+let set_estimate t f = t.estimate <- Some f
+
+let estimate t v =
+  match t.estimate with Some f -> f v | None -> invalid_arg "Heavy_core: no estimator wired"
+
+let reports_of t v =
+  match Hashtbl.find_opt t.reports v with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.replace t.reports v h;
+      h
+
+let recompute_mu t v =
+  let h = reports_of t v in
+  let best =
+    Hashtbl.fold
+      (fun c e acc -> match acc with Some (_, e') when e' >= e -> acc | _ -> Some (c, e))
+      h None
+  in
+  match best with
+  | Some (c, _) -> Hashtbl.replace t.mu v c
+  | None -> Hashtbl.remove t.mu v
+
+(* A child reports a (grown) estimate to its parent; pointers only move to
+   strictly heavier children. *)
+let report t child value =
+  match Dtree.parent t.tree child with
+  | None -> ()
+  | Some p ->
+      t.report_messages <- t.report_messages + 1;
+      let h = reports_of t p in
+      Hashtbl.replace h child value;
+      (match Hashtbl.find_opt t.mu p with
+      | None -> Hashtbl.replace t.mu p child
+      | Some current -> (
+          match Hashtbl.find_opt h current with
+          | Some cur_val when cur_val >= value -> ()
+          | _ -> Hashtbl.replace t.mu p child))
+
+let on_change t v = if Dtree.live t.tree v then report t v (estimate t v)
+
+let on_epoch t =
+  Hashtbl.reset t.reports;
+  Hashtbl.reset t.mu;
+  if t.estimate <> None then begin
+    t.report_messages <- t.report_messages + Dtree.size t.tree;
+    Dtree.iter_nodes t.tree ~f:(fun v ->
+        match Dtree.parent t.tree v with
+        | None -> ()
+        | Some p -> Hashtbl.replace (reports_of t p) v (estimate t v));
+    Hashtbl.iter (fun v _ -> recompute_mu t v) t.reports
+  end
+
+let on_applied t info =
+  match info with
+  | Workload.Leaf_added { leaf; _ } -> report t leaf (estimate t leaf)
+  | Workload.Internal_added { below; fresh } ->
+      let p = match Dtree.parent t.tree fresh with Some p -> p | None -> assert false in
+      let hp = reports_of t p in
+      Hashtbl.remove hp below;
+      if Hashtbl.find_opt t.mu p = Some below then Hashtbl.remove t.mu p;
+      t.report_messages <- t.report_messages + 1;
+      Hashtbl.replace hp fresh (estimate t fresh);
+      recompute_mu t p;
+      t.report_messages <- t.report_messages + 1;
+      Hashtbl.replace (reports_of t fresh) below (estimate t below);
+      Hashtbl.replace t.mu fresh below
+  | Workload.Leaf_removed { node; parent } ->
+      Hashtbl.remove (reports_of t parent) node;
+      Hashtbl.remove t.reports node;
+      if Hashtbl.find_opt t.mu parent = Some node then recompute_mu t parent;
+      Hashtbl.remove t.mu node
+  | Workload.Internal_removed { node; parent; children } ->
+      let hp = reports_of t parent in
+      Hashtbl.remove hp node;
+      List.iter
+        (fun c ->
+          t.report_messages <- t.report_messages + 1;
+          Hashtbl.replace hp c (estimate t c))
+        children;
+      Hashtbl.remove t.reports node;
+      Hashtbl.remove t.mu node;
+      recompute_mu t parent
+  | Workload.Event_occurred _ -> ()
+
+let heavy t v = Hashtbl.find_opt t.mu v
+
+let light_ancestors t v =
+  let rec go v acc =
+    match Dtree.parent t.tree v with
+    | None -> acc
+    | Some p ->
+        let light = Hashtbl.find_opt t.mu p <> Some v in
+        go p (if light then acc + 1 else acc)
+  in
+  go v 0
+
+let max_light_ancestors t =
+  Dtree.fold_dfs t.tree ~init:0 ~f:(fun acc v -> max acc (light_ancestors t v))
+
+let report_messages t = t.report_messages

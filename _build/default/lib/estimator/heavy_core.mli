@@ -1,0 +1,29 @@
+(** Heavy-pointer maintenance shared by {!Heavy_child} (centralized) and
+    {!Heavy_child_dist}: each node points at the child with the largest
+    reported subtree estimate; estimates are monotone within an epoch, so
+    pointers only ever move to strictly heavier children (Theorem 5.4's
+    update rule). The estimator drives the three handlers and installs an
+    estimate-reading closure once both sides exist. *)
+
+type t
+
+val create : tree:Dtree.t -> unit -> t
+
+val set_estimate : t -> (Dtree.node -> int) -> unit
+(** Must be installed before any handler fires with real traffic. *)
+
+val on_change : t -> Dtree.node -> unit
+(** The node's estimate grew: report to its parent (one message). *)
+
+val on_epoch : t -> unit
+(** Epoch rebuild: reseed every report (one broadcast, counted). *)
+
+val on_applied : t -> Workload.applied -> unit
+(** Maintain reports and pointers across a topological change. *)
+
+val heavy : t -> Dtree.node -> Dtree.node option
+val light_ancestors : t -> Dtree.node -> int
+val max_light_ancestors : t -> int
+
+val report_messages : t -> int
+(** Messages charged for reports and epoch reseeds. *)

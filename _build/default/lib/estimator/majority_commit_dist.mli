@@ -1,0 +1,32 @@
+(** Distributed majority commitment on a growing network (Section 1.3),
+    over the asynchronous message-passing simulator.
+
+    The same decision logic as {!Majority_commit} — the root commits or
+    aborts as soon as its exact epoch-boundary tally plus the controller's
+    bound on future voters makes the outcome inevitable — but run on the
+    distributed terminating controller: joins are admitted by agents over
+    the network, and the vote tally rides the epoch-boundary upcast (already
+    charged by the rotation). The decision is eventually made (the global
+    budget is finite) and any early decision agrees with the final ground
+    truth. *)
+
+type decision = Majority_commit.decision = Commit | Abort
+
+type t
+
+val create :
+  m:int -> net:Net.t -> initial_votes:(Dtree.node -> bool) -> unit -> t
+(** [m] bounds the number of joins ever to be admitted. *)
+
+val submit_join :
+  t -> parent:Dtree.node -> vote:bool -> k:(bool -> unit) -> unit
+(** Request one join asynchronously; [k admitted] fires when the join was
+    applied ([true]) or refused because the budget is spent ([false]). *)
+
+val decision : t -> decision option
+val joins : t -> int
+val epochs : t -> int
+val overhead_messages : t -> int
+
+val ground_truth : t -> decision
+(** Majority over every admitted voter — analysis only. *)

@@ -1,0 +1,116 @@
+module Central = Controller.Central
+module Params = Controller.Params
+module Terminating = Controller.Terminating
+
+type t = {
+  tree : Dtree.t;
+  ids : (Dtree.node, int) Hashtbl.t;
+  mutable ctrl : Terminating.t option;
+  mutable tracker : Interval_permits.t option;
+  mutable n_i : int;
+  mutable epochs : int;
+  mutable done_moves : int;
+  mutable max_ratio : float;
+}
+
+let record_ratio t =
+  let n = Dtree.size t.tree in
+  let max_id = Hashtbl.fold (fun _ i acc -> max i acc) t.ids 0 in
+  let r = float_of_int max_id /. float_of_int n in
+  if r > t.max_ratio then t.max_ratio <- r
+
+(* The double DFS of Theorem 5.2: identities pass through [3N+1, 4N] and
+   land in [1, N]; performed atomically here, charged as the two
+   traversals. *)
+let renumber t =
+  let n = Dtree.size t.tree in
+  Hashtbl.reset t.ids;
+  let counter = ref 0 in
+  ignore
+    (Dtree.fold_dfs t.tree ~init:() ~f:(fun () v ->
+         incr counter;
+         Hashtbl.replace t.ids v !counter));
+  t.done_moves <- t.done_moves + (4 * n);
+  t.n_i <- n
+
+let tracker_exn t = match t.tracker with Some tr -> tr | None -> assert false
+
+let on_grant t info =
+  match info with
+  | Workload.Leaf_added { leaf; _ } ->
+      (* the new node's identity is the integer its permit carried *)
+      Hashtbl.replace t.ids leaf (Interval_permits.last_granted (tracker_exn t))
+  | Workload.Internal_added { fresh; _ } ->
+      Hashtbl.replace t.ids fresh (Interval_permits.last_granted (tracker_exn t))
+  | Workload.Leaf_removed { node; _ } | Workload.Internal_removed { node; _ } ->
+      Hashtbl.remove t.ids node
+  | Workload.Event_occurred _ -> ()
+
+let make_ctrl t =
+  let n = Dtree.size t.tree in
+  let budget = max 1 (n / 2) in
+  let w = max 1 (n / 4) in
+  let u = max 4 (n + budget) in
+  (* the controller's permits own [N_i + 1, N_i + budget] (a prefix of the
+     paper's [N_i + 1, 3 N_i / 2]) *)
+  let tracker = Interval_permits.create ~base:(n + 1) ~m:budget () in
+  t.tracker <- Some tracker;
+  let hooks =
+    {
+      Central.on_grant = (fun info -> on_grant t info);
+      on_package_down = (fun ~requester:_ ~from_dist:_ ~to_dist:_ ~size:_ -> ());
+      on_package_event = Interval_permits.hook tracker;
+    }
+  in
+  (* budget <= 2w: the waste-halving wrapper runs a single final stage, so
+     exactly one Central instance consumes the tracked interval *)
+  let made = ref false in
+  let make_base ~m ~w =
+    if !made then invalid_arg "Name_assignment_central: unexpected second stage";
+    made := true;
+    Central.create ~reject_mode:Controller.Types.Report ~hooks
+      ~params:(Params.make ~m ~w ~u) ~tree:t.tree ()
+  in
+  Terminating.create_custom ~make_base ~m:budget ~w ~tree:t.tree ()
+
+let create ~tree () =
+  let t =
+    {
+      tree;
+      ids = Hashtbl.create 64;
+      ctrl = None;
+      tracker = None;
+      n_i = Dtree.size tree;
+      epochs = 0;
+      done_moves = 0;
+      max_ratio = 1.0;
+    }
+  in
+  renumber t;
+  t.ctrl <- Some (make_ctrl t);
+  t
+
+let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false
+
+let rec submit t op =
+  let c = ctrl_exn t in
+  match Terminating.request c op with
+  | Terminating.Granted -> record_ratio t
+  | Terminating.Terminated ->
+      t.done_moves <- t.done_moves + Terminating.moves c;
+      t.epochs <- t.epochs + 1;
+      renumber t;
+      t.ctrl <- Some (make_ctrl t);
+      record_ratio t;
+      submit t op
+
+let id t v =
+  match Hashtbl.find_opt t.ids v with
+  | Some i -> i
+  | None ->
+      invalid_arg (Printf.sprintf "Name_assignment_central.id: node %d has no identity" v)
+
+let ids t = Hashtbl.fold (fun v i acc -> (v, i) :: acc) t.ids [] |> List.sort compare
+let epochs t = t.epochs
+let moves t = t.done_moves + Terminating.moves (ctrl_exn t)
+let max_id_ever_ratio t = t.max_ratio

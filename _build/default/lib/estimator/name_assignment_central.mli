@@ -1,0 +1,26 @@
+(** Name assignment with real interval permits (Theorem 5.2, centralized).
+
+    The distributed {!Name_assignment} realizes the permit-to-integer
+    bijection at grant time (see DESIGN.md note 3); this module implements
+    the paper's mechanism literally on the centralized controller: epoch
+    [i]'s terminating [(N_i/2, N_i/4)]-controller is seeded with the
+    interval [\[N_i + 1, 3 N_i / 2\]], the interval rides and splits with
+    the packages ({!Interval_permits}), and a granted insertion names the
+    new node with the integer its permit carried — no global counter
+    anywhere. The double-DFS renumbering between epochs is as in the
+    distributed version.
+
+    Identities are unique integers in [\[1, 4n\]] at all times. *)
+
+type t
+
+val create : tree:Dtree.t -> unit -> t
+
+val submit : t -> Workload.op -> unit
+(** Apply one controlled topological change, maintaining identities. *)
+
+val id : t -> Dtree.node -> int
+val ids : t -> (Dtree.node * int) list
+val epochs : t -> int
+val moves : t -> int
+val max_id_ever_ratio : t -> float

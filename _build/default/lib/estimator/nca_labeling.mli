@@ -1,0 +1,37 @@
+(** Nearest-common-ancestor labeling on the dynamic tree (Section 5.4,
+    Observation 5.5).
+
+    Labels follow the classic heavy-path construction (the decomposition of
+    Theorem 5.4): a node's label lists the (heavy-path id, position) pairs
+    along its root path, one entry per light edge — so by the heavy-child
+    property each label has [O(log n)] entries of [O(log n)] bits. The NCA
+    of [u] and [v] is computed from the two labels alone: at the first
+    differing entry both labels name the same heavy path, and the NCA sits
+    at the smaller position.
+
+    Dynamics, per the paper's scoping: leaf insertions and deletions are
+    handled incrementally for free (a fresh leaf starts its own singleton
+    heavy path; a deleted leaf is the last node of its path); internal
+    insertions/removals and size-estimation epoch rotations trigger a
+    recomputation (charged and counted). *)
+
+type t
+
+val create : tree:Dtree.t -> unit -> t
+
+val submit : t -> Workload.op -> unit
+(** Apply one controlled topological change, maintaining labels. *)
+
+val nca : t -> Dtree.node -> Dtree.node -> Dtree.node
+(** Nearest common ancestor, answered from the two labels (plus the shared
+    per-epoch path directory). *)
+
+val label_entries : t -> Dtree.node -> int
+(** Number of (path, position) pairs in a node's label — one per light
+    ancestor plus one. *)
+
+val max_label_bits : t -> int
+(** Size of the largest current label. *)
+
+val relabels : t -> int
+val messages : t -> int

@@ -1,0 +1,41 @@
+(** The size-estimation protocol (Theorem 5.1).
+
+    Every node maintains an estimate [n~(v)] of the current network size
+    such that [n / beta <= n~(v) <= beta * n] at all times, for a constant
+    [beta > 1], with amortized message complexity [O(log^2 n)] per
+    topological change.
+
+    The protocol runs in epochs. At the start of epoch [i] the exact size
+    [N_i] is computed and broadcast (one broadcast + upcast, charged [2n]
+    messages); every node uses [N_i] as its estimate for the whole epoch.
+    With [alpha = 1 - 1/beta], a terminating distributed
+    [(alpha N_i, alpha N_i / 2)]-controller guards all topological changes;
+    it terminates after between [alpha N_i / 2] and [alpha N_i] changes, so
+    the size stays within [[N_i / beta, (2 - 1/beta) N_i]] — a
+    [beta]-approximation — and the epoch rotates.
+
+    All topological changes must be submitted through {!submit}: the change
+    is applied once the controller grants it. Changes are never refused —
+    an exhausted epoch rotates and re-serves. *)
+
+type t
+
+val create : ?beta:float -> net:Net.t -> unit -> t
+(** [beta] defaults to 2.0; it must exceed 1. *)
+
+val submit : t -> Workload.op -> k:(unit -> unit) -> unit
+(** Submit a controlled topological change; [k] fires once the change has
+    been applied. *)
+
+val estimate : t -> Dtree.node -> int
+(** The node's current estimate [n~(v)]. *)
+
+val beta : t -> float
+val epochs : t -> int
+
+val overhead_messages : t -> int
+(** Messages charged for epoch-boundary broadcasts/upcasts and whiteboard
+    resets (add to [Net.messages] for the protocol's total). *)
+
+val changes : t -> int
+(** Topological changes applied so far. *)

@@ -1,0 +1,137 @@
+module Central = Controller.Central
+module Params = Controller.Params
+module Terminating = Controller.Terminating
+
+type t = {
+  tree : Dtree.t;
+  beta : float;
+  on_change : Dtree.node -> unit;
+  on_epoch : unit -> unit;
+  on_applied : Workload.applied -> unit;
+  omega0 : (Dtree.node, int) Hashtbl.t;
+  s : (Dtree.node, int) Hashtbl.t;  (* permits seen passing down via v *)
+  sw : (Dtree.node, int) Hashtbl.t;  (* ground truth, analysis only *)
+  mutable ctrl : Terminating.t option;
+  mutable epochs : int;
+  mutable done_moves : int;
+}
+
+let get tbl v = Option.value ~default:0 (Hashtbl.find_opt tbl v)
+
+(* The permits of a package moving from [from_dist] to [to_dist] above the
+   requester enter every node strictly below the source; a package leaving
+   the root's storage also "enters" the root itself (otherwise permits
+   created at the root would never be charged to it, and by induction nodes
+   served out of such packages could under-count). *)
+let observe_package t ~requester ~from_dist ~to_dist ~size =
+  let top =
+    match Dtree.ancestor_at t.tree requester from_dist with
+    | Some v when v = Dtree.root t.tree -> from_dist
+    | Some _ | None -> from_dist - 1
+  in
+  for d = to_dist to top do
+    match Dtree.ancestor_at t.tree requester d with
+    | Some v ->
+        Hashtbl.replace t.s v (get t.s v + size);
+        t.on_change v
+    | None -> assert false
+  done
+
+(* Ground-truth super-weights: a fresh node starts its own and increments
+   every current ancestor's; deletions change nothing. *)
+let note_applied t info =
+  match info with
+  | Workload.Leaf_added { leaf; parent } ->
+      Hashtbl.replace t.sw leaf 1;
+      Hashtbl.replace t.omega0 leaf 1;
+      List.iter
+        (fun a -> Hashtbl.replace t.sw a (get t.sw a + 1))
+        (Dtree.ancestors t.tree parent)
+  | Workload.Internal_added { fresh; _ } ->
+      Hashtbl.replace t.sw fresh (Dtree.subtree_size t.tree fresh);
+      Hashtbl.replace t.omega0 fresh (Dtree.subtree_size t.tree fresh);
+      (match Dtree.parent t.tree fresh with
+      | Some p ->
+          List.iter
+            (fun a -> Hashtbl.replace t.sw a (get t.sw a + 1))
+            (Dtree.ancestors t.tree p)
+      | None -> ())
+  | Workload.Leaf_removed _ | Workload.Internal_removed _ | Workload.Event_occurred _ -> ()
+
+let make_ctrl t =
+  let n = Dtree.size t.tree in
+  let alpha = 1.0 -. (1.0 /. t.beta) in
+  let budget = max 2 (int_of_float (alpha *. float_of_int n)) in
+  let u = max 4 (n + budget) in
+  let hooks =
+    {
+      Central.on_grant =
+        (fun info ->
+          note_applied t info;
+          t.on_applied info);
+      on_package_down =
+        (fun ~requester ~from_dist ~to_dist ~size ->
+          observe_package t ~requester ~from_dist ~to_dist ~size);
+      on_package_event = (fun _ -> ());
+    }
+  in
+  let make_base ~m ~w =
+    Central.create ~reject_mode:Controller.Types.Report ~hooks
+      ~params:(Params.make ~m ~w ~u) ~tree:t.tree ()
+  in
+  Terminating.create_custom ~make_base ~m:budget ~w:(max 1 (budget / 2))
+    ~tree:t.tree ()
+
+let start_epoch t =
+  Hashtbl.reset t.omega0;
+  Hashtbl.reset t.s;
+  Hashtbl.reset t.sw;
+  let rec fill v =
+    let s = List.fold_left (fun acc c -> acc + fill c) 1 (Dtree.children t.tree v) in
+    Hashtbl.replace t.omega0 v s;
+    Hashtbl.replace t.sw v s;
+    s
+  in
+  ignore (fill (Dtree.root t.tree));
+  (* broadcast + upcast delivering omega_0 to every node *)
+  t.done_moves <- t.done_moves + (2 * Dtree.size t.tree);
+  t.ctrl <- Some (make_ctrl t);
+  t.on_epoch ()
+
+let create ?(beta = sqrt 3.0) ?(on_change = fun _ -> ()) ?(on_epoch = fun () -> ())
+    ?(on_applied = fun _ -> ()) ~tree () =
+  if beta <= 1.0 then invalid_arg "Subtree_estimator.create: beta must exceed 1";
+  let t =
+    {
+      tree;
+      beta;
+      on_change;
+      on_epoch;
+      on_applied;
+      omega0 = Hashtbl.create 64;
+      s = Hashtbl.create 64;
+      sw = Hashtbl.create 64;
+      ctrl = None;
+      epochs = 0;
+      done_moves = 0;
+    }
+  in
+  start_epoch t;
+  t
+
+let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false
+
+let rec submit t op =
+  let c = ctrl_exn t in
+  match Terminating.request c op with
+  | Terminating.Granted -> ()
+  | Terminating.Terminated ->
+      t.done_moves <- t.done_moves + Terminating.moves c;
+      t.epochs <- t.epochs + 1;
+      start_epoch t;
+      submit t op
+
+let estimate t v = get t.omega0 v + get t.s v
+let super_weight t v = get t.sw v
+let epochs t = t.epochs
+let moves t = t.done_moves + Terminating.moves (ctrl_exn t)

@@ -1,0 +1,164 @@
+module Dist = Controller.Dist
+module Params = Controller.Params
+module Types = Controller.Types
+
+type request = { op : Workload.op; k : unit -> unit }
+
+type t = {
+  net : Net.t;
+  beta : float;
+  on_change : Dtree.node -> unit;
+  on_epoch : unit -> unit;
+  on_applied : Workload.applied -> unit;
+  omega0 : (Dtree.node, int) Hashtbl.t;
+  s : (Dtree.node, int) Hashtbl.t;
+  sw : (Dtree.node, int) Hashtbl.t;  (* ground truth, analysis only *)
+  mutable ctrl : Dist.t option;
+  mutable epochs : int;
+  mutable rotating : bool;
+  mutable applying : int;
+  mutable overhead : int;
+  held : request Queue.t;
+}
+
+let tree t = Net.tree t.net
+let get tbl v = Option.value ~default:0 (Hashtbl.find_opt tbl v)
+
+let observe t ~node ~size =
+  if Dtree.live (tree t) node then begin
+    Hashtbl.replace t.s node (get t.s node + size);
+    t.on_change node
+  end
+
+let make_ctrl t =
+  let n = Dtree.size (tree t) in
+  let alpha = 1.0 -. (1.0 /. t.beta) in
+  let budget = max 1 (int_of_float (alpha *. float_of_int n)) in
+  let u = max 4 (n + budget) in
+  Dist.create
+    ~config:
+      {
+        Dist.auto_apply = false;
+        exhaustion = `Hold;
+        name = "subtree-est";
+        on_permits_down = (fun ~node ~size -> observe t ~node ~size);
+      }
+    ~params:(Params.make ~m:budget ~w:(max 1 (budget / 2)) ~u)
+    ~net:t.net ()
+
+let start_epoch t =
+  Hashtbl.reset t.omega0;
+  Hashtbl.reset t.s;
+  Hashtbl.reset t.sw;
+  let rec fill v =
+    let s = List.fold_left (fun acc c -> acc + fill c) 1 (Dtree.children (tree t) v) in
+    Hashtbl.replace t.omega0 v s;
+    Hashtbl.replace t.sw v s;
+    s
+  in
+  ignore (fill (Dtree.root (tree t)));
+  (* broadcast + upcast delivering omega_0, plus whiteboard reset *)
+  t.overhead <- t.overhead + (3 * Dtree.size (tree t));
+  t.ctrl <- Some (make_ctrl t);
+  t.on_epoch ()
+
+let create ?(beta = sqrt 3.0) ?(on_change = fun _ -> ()) ?(on_epoch = fun () -> ())
+    ?(on_applied = fun _ -> ()) ~net () =
+  if beta <= 1.0 then invalid_arg "Subtree_estimator_dist.create: beta must exceed 1";
+  let t =
+    {
+      net;
+      beta;
+      on_change;
+      on_epoch;
+      on_applied;
+      omega0 = Hashtbl.create 64;
+      s = Hashtbl.create 64;
+      sw = Hashtbl.create 64;
+      ctrl = None;
+      epochs = 0;
+      rotating = false;
+      applying = 0;
+      overhead = 0;
+      held = Queue.create ();
+    }
+  in
+  start_epoch t;
+  t
+
+let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false
+
+let note_applied t info =
+  match info with
+  | Workload.Leaf_added { leaf; parent } ->
+      Hashtbl.replace t.sw leaf 1;
+      Hashtbl.replace t.omega0 leaf 1;
+      List.iter
+        (fun a -> Hashtbl.replace t.sw a (get t.sw a + 1))
+        (Dtree.ancestors (tree t) parent)
+  | Workload.Internal_added { fresh; _ } ->
+      Hashtbl.replace t.sw fresh (Dtree.subtree_size (tree t) fresh);
+      Hashtbl.replace t.omega0 fresh (Dtree.subtree_size (tree t) fresh);
+      (match Dtree.parent (tree t) fresh with
+      | Some p ->
+          List.iter
+            (fun a -> Hashtbl.replace t.sw a (get t.sw a + 1))
+            (Dtree.ancestors (tree t) p)
+      | None -> ())
+  | Workload.Leaf_removed _ | Workload.Internal_removed _ | Workload.Event_occurred _ -> ()
+
+let rec apply_change t r =
+  let ctrl = ctrl_exn t in
+  if Dist.can_apply ctrl r.op then begin
+    let info = Workload.apply_info (tree t) r.op in
+    (match info with
+    | Workload.Leaf_removed { node; parent } | Workload.Internal_removed { node; parent; _ }
+      ->
+        Net.node_deleted t.net node ~parent
+    | Workload.Leaf_added _ | Workload.Internal_added _ | Workload.Event_occurred _ -> ());
+    Dist.note_applied ctrl info;
+    note_applied t info;
+    t.on_applied info;
+    t.applying <- t.applying - 1;
+    r.k ()
+  end
+  else Net.schedule t.net ~delay:2 (fun () -> apply_change t r)
+
+let rec route t r =
+  if t.rotating then Queue.push r t.held
+  else
+    Dist.submit (ctrl_exn t) r.op ~k:(fun outcome ->
+        match outcome with
+        | Types.Granted ->
+            t.applying <- t.applying + 1;
+            apply_change t r
+        | Types.Exhausted ->
+            (* park first: the rotation can complete synchronously *)
+            Queue.push r t.held;
+            start_rotation t
+        | Types.Rejected -> assert false)
+
+and start_rotation t =
+  if not t.rotating then begin
+    t.rotating <- true;
+    await_drain t
+  end
+
+and await_drain t =
+  if Dist.outstanding (ctrl_exn t) = 0 && t.applying = 0 then rotate t
+  else Net.schedule t.net ~delay:2 (fun () -> await_drain t)
+
+and rotate t =
+  t.epochs <- t.epochs + 1;
+  start_epoch t;
+  t.rotating <- false;
+  let parked = Queue.create () in
+  Queue.transfer t.held parked;
+  Queue.iter (fun r -> Net.schedule t.net ~delay:1 (fun () -> route t r)) parked
+
+let submit t op ~k = Net.schedule t.net ~delay:1 (fun () -> route t { op; k })
+
+let estimate t v = get t.omega0 v + get t.s v
+let super_weight t v = get t.sw v
+let epochs t = t.epochs
+let overhead_messages t = t.overhead

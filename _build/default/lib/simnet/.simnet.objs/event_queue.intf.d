@@ -1,0 +1,1 @@
+lib/simnet/event_queue.mli:

@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Dtree Event_queue Hashtbl List Option Rng

@@ -1,0 +1,11 @@
+(** Binary min-heap of timed events. Ties are broken by insertion order, so
+    executions are deterministic given the delay RNG. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val add : 'a t -> time:int -> 'a -> unit
+val pop : 'a t -> (int * 'a) option
+val peek_time : 'a t -> int option
+val is_empty : 'a t -> bool
+val size : 'a t -> int

@@ -1,0 +1,84 @@
+type node = Dtree.node
+
+type addr = Exact of node | Parent_of of node
+
+type event = Deliver of addr * string * (node -> unit) | Action of (unit -> unit)
+
+type t = {
+  the_tree : Dtree.t;
+  rng : Rng.t;
+  max_delay : int;
+  events : event Event_queue.t;
+  forwards : (node, node) Hashtbl.t;  (* deleted node -> adopting parent *)
+  by_tag : (string, int) Hashtbl.t;
+  mutable clock : int;
+  mutable message_count : int;
+  mutable bits_total : int;
+  mutable bits_max : int;
+}
+
+let create ?(seed = 0x5EED) ?(max_delay = 8) ~tree () =
+  if max_delay < 1 then invalid_arg "Net.create: max_delay must be >= 1";
+  {
+    the_tree = tree;
+    rng = Rng.create ~seed;
+    max_delay;
+    events = Event_queue.create ();
+    forwards = Hashtbl.create 32;
+    by_tag = Hashtbl.create 16;
+    clock = 0;
+    message_count = 0;
+    bits_total = 0;
+    bits_max = 0;
+  }
+
+let tree t = t.the_tree
+
+let rec resolve t v =
+  match Hashtbl.find_opt t.forwards v with None -> v | Some p -> resolve t p
+
+let send t ~src ~addr ~tag ~bits k =
+  ignore src;
+  t.message_count <- t.message_count + 1;
+  t.bits_total <- t.bits_total + bits;
+  if bits > t.bits_max then t.bits_max <- bits;
+  Hashtbl.replace t.by_tag tag (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_tag tag));
+  let delay = 1 + Rng.int t.rng t.max_delay in
+  Event_queue.add t.events ~time:(t.clock + delay) (Deliver (addr, tag, k))
+
+let schedule t ?(delay = 1) f =
+  if delay < 0 then invalid_arg "Net.schedule: negative delay";
+  Event_queue.add t.events ~time:(t.clock + delay) (Action f)
+
+let node_deleted t v ~parent = Hashtbl.replace t.forwards v parent
+
+let deliver t addr k =
+  let dst =
+    match addr with
+    | Exact v -> resolve t v
+    | Parent_of v -> (
+        let v = resolve t v in
+        match Dtree.parent t.the_tree v with
+        | Some p -> p
+        | None -> v (* the sender became the root: deliver locally *))
+  in
+  k dst
+
+let step t =
+  match Event_queue.pop t.events with
+  | None -> false
+  | Some (time, ev) ->
+      t.clock <- max t.clock time;
+      (match ev with Deliver (addr, _tag, k) -> deliver t addr k | Action f -> f ());
+      true
+
+let run t = while step t do () done
+let now t = t.clock
+let messages t = t.message_count
+
+let messages_by_tag t =
+  List.sort compare (Hashtbl.fold (fun tag _ acc -> tag :: acc) t.by_tag [])
+  |> List.map (fun tag -> (tag, Hashtbl.find t.by_tag tag))
+
+let max_message_bits t = t.bits_max
+let total_bits t = t.bits_total

@@ -1,0 +1,61 @@
+(** Discrete-event asynchronous message-passing network over a dynamic tree.
+
+    The paper's model (Section 2.1): point-to-point messages over the edges
+    of the spanning tree, arbitrary but finite delays, no losses, and
+    "graceful" topology changes — a message in flight towards a node that has
+    meanwhile been deleted is received by the node's parent, and a message
+    addressed "to my parent" is received by whoever is the parent when it
+    arrives (deletions splice, internal insertions interpose; both preserve
+    the one-hop meaning of the send).
+
+    Messages are closures fired at the resolved destination, so any protocol
+    payload can ride the network without the network knowing its type. Local
+    actions ([schedule]) share the clock but are not messages and are not
+    counted.
+
+    Delays are drawn from a seeded RNG in [\[1, max_delay\]]: a deterministic
+    adversary within the asynchronous model. *)
+
+type node = Dtree.node
+
+type addr =
+  | Exact of node
+      (** resolved through the deletion-forwarding chain at delivery time *)
+  | Parent_of of node
+      (** delivered to the sender's parent as of the moment of delivery *)
+
+type t
+
+val create : ?seed:int -> ?max_delay:int -> tree:Dtree.t -> unit -> t
+(** [max_delay] defaults to 8. *)
+
+val tree : t -> Dtree.t
+
+val send :
+  t -> src:node -> addr:addr -> tag:string -> bits:int -> (node -> unit) -> unit
+(** Send one message; the continuation runs at delivery time with the
+    resolved destination. [tag] buckets the message statistics; [bits] is the
+    message's size for the O(log N) accounting. *)
+
+val schedule : t -> ?delay:int -> (unit -> unit) -> unit
+(** A local (uncounted) action after [delay] (default 1) time units. *)
+
+val run : t -> unit
+(** Drain all events. *)
+
+val step : t -> bool
+(** Execute one event; false if none remain. *)
+
+val now : t -> int
+
+val node_deleted : t -> node -> parent:node -> unit
+(** Register the forwarding of a deleted node to its adopting parent. The
+    tree itself is updated by the caller. *)
+
+val resolve : t -> node -> node
+(** Follow the forwarding chain to the current live incarnation. *)
+
+val messages : t -> int
+val messages_by_tag : t -> (string * int) list
+val max_message_bits : t -> int
+val total_bits : t -> int

@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Shift by 2 so the value fits OCaml's 63-bit native int (stays
+     non-negative). *)
+  let mask = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  mask mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let bits53 = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bits53 /. 9007199254740992.0
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let pick_weighted t choices =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: weights sum to zero";
+  let x = float t *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.pick_weighted: empty list"
+    | [ (v, _) ] -> v
+    | (v, w) :: tl -> if acc +. w > x then v else go (acc +. w) tl
+  in
+  go 0.0 choices
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

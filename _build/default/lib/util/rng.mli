@@ -1,0 +1,35 @@
+(** Deterministic SplitMix64 pseudo-random generator.
+
+    Every randomized component of the reproduction (workload generation,
+    adversarial link delays, port assignment) draws from an explicit [Rng.t]
+    so that experiments and failing test cases replay exactly from a seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent stream derived from the current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. @raise Invalid_argument on []. *)
+
+val pick_weighted : t -> ('a * float) list -> 'a
+(** Pick proportionally to the (non-negative, not all zero) weights. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Controller List QCheck2 QCheck_alcotest Rng Workload

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Adaptive Alcotest Controller Dtree Helpers List Printf QCheck2 Rng Types Workload

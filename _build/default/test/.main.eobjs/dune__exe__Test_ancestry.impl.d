@@ -1,0 +1,1 @@
+test/test_ancestry.ml: Alcotest Dtree Estimator Helpers List Printf QCheck2 Rng Stats Workload

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baseline_aaps Baseline_trivial Controller Dtree Helpers List Params Printf QCheck2 Rng Types Workload

@@ -1,0 +1,1 @@
+test/test_central.ml: Alcotest Central Controller Dtree Helpers List Option Params Printf QCheck2 Rng Store Types Workload

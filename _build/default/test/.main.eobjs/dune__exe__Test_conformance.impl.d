@@ -1,0 +1,1 @@
+test/test_conformance.ml: Adaptive Alcotest Baseline_aaps Baseline_trivial Central Controller Dtree Iterated List Params Printf Rng Types Workload

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Central Controller Dist Dist_harness Dtree Helpers List Net Params Printf QCheck2 Rng Stats Store Types Workload

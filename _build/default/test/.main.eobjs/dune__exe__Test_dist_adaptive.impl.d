@@ -1,0 +1,1 @@
+test/test_dist_adaptive.ml: Alcotest Controller Dist_adaptive Dist_harness Dtree Helpers Net Printf QCheck2 Rng Workload

@@ -1,0 +1,1 @@
+test/test_dtree.ml: Alcotest Dtree Helpers List QCheck2 Rng Workload

@@ -1,0 +1,1 @@
+test/test_heavy_child.ml: Alcotest Dtree Estimator Hashtbl Helpers List Net Option Printf QCheck2 Rng Stats Workload

@@ -1,0 +1,1 @@
+test/test_iterated.ml: Alcotest Baseline_trivial Controller Dtree Helpers Iterated List Printf QCheck2 Rng Types Workload

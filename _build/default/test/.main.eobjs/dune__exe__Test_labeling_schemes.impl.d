@@ -1,0 +1,1 @@
+test/test_labeling_schemes.ml: Alcotest Array Dtree Estimator Helpers List Option Printf QCheck2 Rng Stats String Workload

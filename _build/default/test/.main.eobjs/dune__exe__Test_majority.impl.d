@@ -1,0 +1,1 @@
+test/test_majority.ml: Alcotest Dtree Estimator Helpers List Net Option Printf QCheck2 Rng Workload

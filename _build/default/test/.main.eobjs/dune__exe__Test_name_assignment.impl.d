@@ -1,0 +1,1 @@
+test/test_name_assignment.ml: Alcotest Dtree Estimator Hashtbl Helpers List Net Printf QCheck2 Rng Workload

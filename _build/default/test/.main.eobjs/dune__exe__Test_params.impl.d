@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Controller Helpers Params QCheck2

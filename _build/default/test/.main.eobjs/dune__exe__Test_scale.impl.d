@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Central Controller Dist_harness Dtree Estimator Hashtbl List Net Params Printf Rng Workload

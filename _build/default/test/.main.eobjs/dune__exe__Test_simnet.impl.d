@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Dtree Event_queue List Net Rng

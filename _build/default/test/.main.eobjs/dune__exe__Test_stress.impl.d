@@ -1,0 +1,1 @@
+test/test_stress.ml: Adaptive Alcotest Central Controller Dist Dist_harness Dtree Hashtbl Helpers List Net Params Printf QCheck2 Rng Workload

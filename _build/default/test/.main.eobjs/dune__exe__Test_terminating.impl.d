@@ -1,0 +1,1 @@
+test/test_terminating.ml: Alcotest Controller Dtree Helpers Printf QCheck2 Rng Terminating Workload

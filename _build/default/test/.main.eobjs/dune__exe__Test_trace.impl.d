@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Controller Dtree Filename Fun List Sys Workload

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Controller Domain_tracker Dtree Fun Hashtbl List Option Package Params Rng Stats Store Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dtree Format Helpers List QCheck2 Rng Workload

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "dynnet"
+    [
+      Test_dtree.suite;
+      Test_workload.suite;
+      Test_params.suite;
+      Test_units.suite;
+      Test_simnet.suite;
+      Test_central.suite;
+      Test_iterated.suite;
+      Test_adaptive.suite;
+      Test_terminating.suite;
+      Test_baselines.suite;
+      Test_dist.suite;
+      Test_dist_adaptive.suite;
+      Test_size_estimation.suite;
+      Test_name_assignment.suite;
+      Test_heavy_child.suite;
+      Test_ancestry.suite;
+      Test_majority.suite;
+      Test_labeling_schemes.suite;
+      Test_trace.suite;
+      Test_stress.suite;
+      Test_scale.suite;
+      Test_conformance.suite;
+    ]

@@ -1,0 +1,97 @@
+open Controller
+
+let drive ~variant ~seed ~shape ~mix ~m ~w ~steps =
+  let rng = Rng.create ~seed in
+  let tree = Workload.Shape.build rng shape in
+  let c = Adaptive.create ~variant ~m ~w ~tree () in
+  let wl = Workload.make ~seed ~mix () in
+  let first_reject_granted = ref None in
+  (try
+     for _ = 1 to steps do
+       match Adaptive.request c (Workload.next_op wl tree) with
+       | Types.Rejected ->
+           if !first_reject_granted = None then
+             first_reject_granted := Some (Adaptive.granted c)
+       | Types.Granted | Types.Exhausted -> ()
+     done
+   with Exit -> ());
+  (c, tree, !first_reject_granted)
+
+let test_epochs_rotate () =
+  (* Enough topological changes must trigger several epochs. *)
+  let c, _, _ =
+    drive ~variant:Adaptive.By_changes ~seed:31 ~shape:(Workload.Shape.Random 30)
+      ~mix:Workload.Mix.churn ~m:2000 ~w:50 ~steps:1500
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "epochs rotated (%d > 2)" (Adaptive.epochs c))
+    true
+    (Adaptive.epochs c > 2)
+
+let test_by_doubling_rotates_on_growth () =
+  let c, tree, _ =
+    drive ~variant:Adaptive.By_doubling ~seed:32 ~shape:(Workload.Shape.Random 16)
+      ~mix:Workload.Mix.grow_only ~m:600 ~w:50 ~steps:600
+  in
+  Alcotest.(check bool) "tree grew a lot" true (Dtree.size tree > 256);
+  Alcotest.(check bool)
+    (Printf.sprintf "epochs rotated (%d >= 3)" (Adaptive.epochs c))
+    true
+    (Adaptive.epochs c >= 3)
+
+let prop_safety_liveness variant name =
+  Helpers.qcheck ~count:25 name
+    QCheck2.Gen.(
+      quad (int_range 0 99999) (int_range 0 400) (int_range 0 50) (int_range 0 2))
+    (fun (seed, m, w, mix_idx) ->
+      let mix =
+        List.nth Workload.Mix.[ churn; grow_only; shrink_heavy ] mix_idx
+      in
+      let c, _, at_reject =
+        drive ~variant ~seed ~shape:(Workload.Shape.Random 30) ~mix ~m ~w
+          ~steps:(2 * (m + 30))
+      in
+      Adaptive.granted c <= m
+      &&
+      match at_reject with None -> true | Some g -> g >= m - w && g <= m)
+
+let test_growth_beyond_initial_bound () =
+  (* The whole point of Section 3.3: the network may grow far beyond any
+     function of n0. Start with 2 nodes and grow to hundreds. *)
+  let tree = Dtree.create () in
+  ignore (Dtree.add_leaf tree ~parent:(Dtree.root tree));
+  let c = Adaptive.create ~m:1000 ~w:100 ~tree () in
+  let wl = Workload.make ~seed:33 ~mix:Workload.Mix.grow_only () in
+  let granted = ref 0 in
+  for _ = 1 to 900 do
+    match Adaptive.request c (Workload.next_op wl tree) with
+    | Types.Granted -> incr granted
+    | Types.Rejected | Types.Exhausted -> ()
+  done;
+  Alcotest.(check int) "all granted within budget" 900 !granted;
+  Alcotest.(check bool) "tree is large now" true (Dtree.size tree > 500)
+
+let test_rejects_after_exhaustion () =
+  let tree = Dtree.create () in
+  let c = Adaptive.create ~m:5 ~w:0 ~tree () in
+  let outcomes =
+    List.init 8 (fun _ -> Adaptive.request c (Workload.Add_leaf (Dtree.root tree)))
+  in
+  Alcotest.(check int) "5 grants"
+    5
+    (List.length (List.filter (( = ) Types.Granted) outcomes));
+  Alcotest.(check int) "3 rejects"
+    3
+    (List.length (List.filter (( = ) Types.Rejected) outcomes));
+  Alcotest.(check bool) "rejecting state" true (Adaptive.rejecting c)
+
+let suite =
+  ( "adaptive",
+    [
+      Alcotest.test_case "epochs rotate (by changes)" `Quick test_epochs_rotate;
+      Alcotest.test_case "epochs rotate (by doubling)" `Quick test_by_doubling_rotates_on_growth;
+      Alcotest.test_case "growth beyond any initial bound" `Quick test_growth_beyond_initial_bound;
+      Alcotest.test_case "rejects after exhaustion" `Quick test_rejects_after_exhaustion;
+      prop_safety_liveness Adaptive.By_changes "safety/liveness (by changes)";
+      prop_safety_liveness Adaptive.By_doubling "safety/liveness (by doubling)";
+    ] )

@@ -1,0 +1,147 @@
+(* One conformance battery run against every centralized controller variant:
+   the correctness conditions of Section 2.2 are variant-independent. *)
+
+open Controller
+
+module type CTRL = sig
+  val name : string
+  val exact_window : bool
+  (** whether the [M-W, M] liveness window is promised exactly *)
+
+  val grow_only : bool
+
+  type t
+
+  val create : m:int -> w:int -> u:int -> tree:Dtree.t -> t
+  val request : t -> Workload.op -> Types.outcome
+  val granted : t -> int
+end
+
+let variants : (module CTRL) list =
+  [
+    (module struct
+      let name = "central (fixed U)"
+      let exact_window = true
+      let grow_only = false
+
+      type t = Central.t
+
+      let create ~m ~w ~u ~tree =
+        Central.create ~params:(Params.make ~m ~w:(max 1 w) ~u) ~tree ()
+
+      let request = Central.request
+      let granted = Central.granted
+    end);
+    (module struct
+      let name = "iterated (Obs 3.4)"
+      let exact_window = true
+      let grow_only = false
+
+      type t = Iterated.t
+
+      let create ~m ~w ~u ~tree = Iterated.create ~m ~w ~u ~tree ()
+      let request = Iterated.request
+      let granted = Iterated.granted
+    end);
+    (module struct
+      let name = "adaptive (Thm 3.5(1))"
+      let exact_window = true
+      let grow_only = false
+
+      type t = Adaptive.t
+
+      let create ~m ~w ~u:_ ~tree = Adaptive.create ~m ~w ~tree ()
+      let request = Adaptive.request
+      let granted = Adaptive.granted
+    end);
+    (module struct
+      let name = "adaptive (Thm 3.5(2))"
+      let exact_window = true
+      let grow_only = false
+
+      type t = Adaptive.t
+
+      let create ~m ~w ~u:_ ~tree =
+        Adaptive.create ~variant:Adaptive.By_doubling ~m ~w ~tree ()
+
+      let request = Adaptive.request
+      let granted = Adaptive.granted
+    end);
+    (module struct
+      let name = "trivial baseline"
+      let exact_window = true
+      let grow_only = false
+
+      type t = Baseline_trivial.t
+
+      let create ~m ~w:_ ~u:_ ~tree = Baseline_trivial.create ~m ~tree
+      let request = Baseline_trivial.request
+      let granted = Baseline_trivial.granted
+    end);
+    (module struct
+      let name = "AAPS bins baseline"
+      let exact_window = false
+      let grow_only = true
+
+      type t = Baseline_aaps.Iterated.t
+
+      let create ~m ~w ~u ~tree = Baseline_aaps.Iterated.create ~m ~w ~u ~tree ()
+      let request = Baseline_aaps.Iterated.request
+      let granted = Baseline_aaps.Iterated.granted
+    end);
+  ]
+
+let grid =
+  (* (m, w, shape, mix-name) corners of the parameter space *)
+  [
+    (40, 0, Workload.Shape.Random 30, `Churn);
+    (40, 10, Workload.Shape.Random 30, `Churn);
+    (150, 25, Workload.Shape.Path 60, `Grow);
+    (150, 75, Workload.Shape.Star 40, `Shrink);
+    (7, 2, Workload.Shape.Caterpillar 25, `Churn);
+    (300, 1, Workload.Shape.Balanced (3, 40), `Grow);
+  ]
+
+let mix_of = function
+  | `Churn -> Workload.Mix.churn
+  | `Grow -> Workload.Mix.grow_only
+  | `Shrink -> Workload.Mix.shrink_heavy
+
+let run_cell (module C : CTRL) (m, w, shape, mix_tag) =
+  let mix = if C.grow_only then Workload.Mix.grow_only else mix_of mix_tag in
+  let steps = (2 * m) + 60 in
+  let rng = Rng.create ~seed:(m + w) in
+  let tree = Workload.Shape.build rng shape in
+  let ctrl = C.create ~m ~w ~u:(Dtree.size tree + steps) ~tree in
+  let wl = Workload.make ~seed:(m + w + 1) ~mix () in
+  let first_reject_granted = ref None in
+  for _ = 1 to steps do
+    match C.request ctrl (Workload.next_op wl tree) with
+    | Types.Granted | Types.Exhausted -> ()
+    | Types.Rejected ->
+        if !first_reject_granted = None then first_reject_granted := Some (C.granted ctrl)
+  done;
+  (* safety: never more than M *)
+  if C.granted ctrl > m then
+    Alcotest.failf "%s: safety violated (%d > M = %d)" C.name (C.granted ctrl) m;
+  (* the budget is large enough to be exhausted by the step count *)
+  (match !first_reject_granted with
+  | None -> Alcotest.failf "%s: never exhausted (granted %d of %d)" C.name (C.granted ctrl) m
+  | Some g ->
+      if C.exact_window && g < m - w then
+        Alcotest.failf "%s: liveness violated (%d < M - W = %d)" C.name g (m - w);
+      if (not C.exact_window) && g < m / 4 then
+        Alcotest.failf "%s: granted fraction collapsed (%d of %d)" C.name g m);
+  Dtree.check tree
+
+let cases =
+  List.concat_map
+    (fun (module C : CTRL) ->
+      List.mapi
+        (fun i cell ->
+          Alcotest.test_case (Printf.sprintf "%s / grid %d" C.name i) `Quick (fun () ->
+              run_cell (module C) cell))
+        grid)
+    variants
+
+let suite = ("conformance", cases)

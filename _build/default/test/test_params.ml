@@ -1,0 +1,89 @@
+open Controller
+
+let test_phi_psi () =
+  let p = Params.make ~m:1000 ~w:100 ~u:50 in
+  Alcotest.(check int) "phi = max(W/2U,1)" 1 p.Params.phi;
+  let p2 = Params.make ~m:1000 ~w:400 ~u:50 in
+  Alcotest.(check int) "phi large W" 4 p2.Params.phi;
+  Alcotest.(check int) "psi divisible by 4" 0 (p.Params.psi mod 4);
+  Alcotest.(check bool) "psi positive" true (p.Params.psi > 0)
+
+let test_mobile_size () =
+  let p = Params.make ~m:1000 ~w:400 ~u:50 in
+  Alcotest.(check int) "level 0" p.Params.phi (Params.mobile_size p 0);
+  Alcotest.(check int) "level 3" (8 * p.Params.phi) (Params.mobile_size p 3)
+
+let test_landing_integral () =
+  let p = Params.make ~m:1000 ~w:3 ~u:500 in
+  (* 3 * 2^(k-1) * psi must be integral for every level including 0. *)
+  Alcotest.(check int) "level 0 landing" (3 * p.Params.psi / 2) (Params.landing_distance p 0);
+  Alcotest.(check int) "level 2 landing" (6 * p.Params.psi) (Params.landing_distance p 2);
+  Alcotest.(check bool) "monotone" true
+    (Params.landing_distance p 0 < Params.landing_distance p 1)
+
+(* The filler condition partitions distances: exactly level 0 for d <= 2 psi,
+   exactly one level j >= 1 with 2^j psi < d <= 2^(j+1) psi beyond. *)
+let prop_filler_partition =
+  Helpers.qcheck ~count:100 "filler level partitions distances"
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 2 4096))
+    (fun (d, u) ->
+      let p = Params.make ~m:(4 * u) ~w:u ~u in
+      match Params.filler_level_at p d with
+      | Some 0 -> d <= 2 * p.Params.psi
+      | Some j ->
+          j >= 1 && (1 lsl j) * p.Params.psi < d && d <= (1 lsl (j + 1)) * p.Params.psi
+      | None -> d > (1 lsl (p.Params.max_level + 2)) * p.Params.psi)
+
+let prop_creation_level_minimal =
+  Helpers.qcheck ~count:100 "creation level is the minimal j"
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 2 4096))
+    (fun (d, u) ->
+      let p = Params.make ~m:(4 * u) ~w:u ~u in
+      let j = Params.creation_level p d in
+      d <= (1 lsl (j + 1)) * p.Params.psi
+      && (j = 0 || d > (1 lsl j) * p.Params.psi))
+
+(* landing_distance (k-1) always lies strictly below the filler zone of level
+   k, so Proc always moves packages downwards. *)
+let prop_landing_below_filler =
+  Helpers.qcheck ~count:50 "landing distance below filler zone"
+    QCheck2.Gen.(int_range 2 100000)
+    (fun u ->
+      let p = Params.make ~m:u ~w:(max 1 (u / 3)) ~u in
+      let ok = ref true in
+      for k = 1 to p.Params.max_level do
+        if Params.landing_distance p (k - 1) >= (1 lsl k) * p.Params.psi then ok := false
+      done;
+      !ok)
+
+(* The domain of a level-k package never reaches the requester: its bottom
+   sits at distance 2^k psi (>= psi) above it. *)
+let prop_domain_fits =
+  Helpers.qcheck ~count:50 "domain fits between requester and host"
+    QCheck2.Gen.(int_range 2 100000)
+    (fun u ->
+      let p = Params.make ~m:u ~w:(max 1 (u / 3)) ~u in
+      let ok = ref true in
+      for k = 0 to p.Params.max_level do
+        if Params.landing_distance p k - Params.domain_size p k <= 0 then ok := false
+      done;
+      !ok)
+
+let test_invalid () =
+  Alcotest.check_raises "w = 0 rejected" (Invalid_argument "Params.make: base controller requires W >= 1")
+    (fun () -> ignore (Params.make ~m:10 ~w:0 ~u:5));
+  Alcotest.check_raises "u = 0 rejected" (Invalid_argument "Params.make: U must be positive")
+    (fun () -> ignore (Params.make ~m:10 ~w:1 ~u:0))
+
+let suite =
+  ( "params",
+    [
+      Alcotest.test_case "phi and psi" `Quick test_phi_psi;
+      Alcotest.test_case "mobile sizes" `Quick test_mobile_size;
+      Alcotest.test_case "landing distances" `Quick test_landing_integral;
+      Alcotest.test_case "invalid parameters" `Quick test_invalid;
+      prop_filler_partition;
+      prop_creation_level_minimal;
+      prop_landing_below_filler;
+      prop_domain_fits;
+    ] )

@@ -1,0 +1,116 @@
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  List.iter (fun (t, v) -> Event_queue.add q ~time:t v)
+    [ (5, "e"); (1, "a"); (3, "c"); (1, "b"); (4, "d") ];
+  let order = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (* same-time events keep insertion order *)
+  Alcotest.(check (list string)) "time then fifo order" [ "a"; "b"; "c"; "d"; "e" ]
+    (List.rev !order);
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_event_queue_bulk () =
+  let q = Event_queue.create () in
+  let rng = Rng.create ~seed:3 in
+  let times = List.init 2000 (fun _ -> Rng.int rng 10_000) in
+  List.iter (fun t -> Event_queue.add q ~time:t t) times;
+  let rec drain last acc =
+    match Event_queue.pop q with
+    | Some (t, v) ->
+        if t < last then Alcotest.fail "heap order violated";
+        Alcotest.(check int) "payload matches time" t v;
+        drain t (acc + 1)
+    | None -> acc
+  in
+  Alcotest.(check int) "all drained" 2000 (drain min_int 0)
+
+let test_delivery_and_counting () =
+  let tree = Dtree.create () in
+  let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+  let net = Net.create ~seed:1 ~tree () in
+  let got = ref [] in
+  Net.send net ~src:(Dtree.root tree) ~addr:(Net.Exact a) ~tag:"x" ~bits:10 (fun dst ->
+      got := dst :: !got);
+  Net.send net ~src:a ~addr:(Net.Parent_of a) ~tag:"y" ~bits:20 (fun dst ->
+      got := dst :: !got);
+  Net.run net;
+  Alcotest.(check (list int)) "both delivered (any order)" [ 0; 1 ]
+    (List.sort compare !got);
+  Alcotest.(check int) "two messages" 2 (Net.messages net);
+  Alcotest.(check int) "max bits" 20 (Net.max_message_bits net);
+  Alcotest.(check int) "total bits" 30 (Net.total_bits net);
+  Alcotest.(check (list (pair string int))) "tags" [ ("x", 1); ("y", 1) ]
+    (Net.messages_by_tag net)
+
+let test_parent_resolution_after_deletion () =
+  (* a message to a deleted node is received by its adopting parent *)
+  let tree = Dtree.create () in
+  let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+  let b = Dtree.add_leaf tree ~parent:a in
+  let net = Net.create ~seed:2 ~tree () in
+  let got = ref (-1) in
+  Net.send net ~src:b ~addr:(Net.Parent_of b) ~tag:"up" ~bits:8 (fun dst -> got := dst);
+  (* a is deleted while the message is in flight *)
+  Dtree.remove_internal tree a;
+  Net.node_deleted net a ~parent:(Dtree.root tree);
+  Net.run net;
+  Alcotest.(check int) "delivered to the new parent" (Dtree.root tree) !got;
+  Alcotest.(check int) "resolve follows the chain" 0 (Net.resolve net a)
+
+let test_parent_resolution_after_insertion () =
+  (* a message "to my parent" is received by a freshly interposed node *)
+  let tree = Dtree.create () in
+  let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+  let net = Net.create ~seed:3 ~tree () in
+  let got = ref (-1) in
+  Net.send net ~src:a ~addr:(Net.Parent_of a) ~tag:"up" ~bits:8 (fun dst -> got := dst);
+  let fresh = Dtree.add_internal tree ~above:a in
+  Net.run net;
+  Alcotest.(check int) "delivered to the interposed node" fresh !got
+
+let test_delays_bounded_and_deterministic () =
+  let run () =
+    let tree = Dtree.create () in
+    let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+    let net = Net.create ~seed:4 ~max_delay:5 ~tree () in
+    let times = ref [] in
+    for _ = 1 to 50 do
+      Net.send net ~src:(Dtree.root tree) ~addr:(Net.Exact a) ~tag:"t" ~bits:1 (fun _ ->
+          times := Net.now net :: !times)
+    done;
+    Net.run net;
+    !times
+  in
+  let t1 = run () and t2 = run () in
+  Alcotest.(check (list int)) "deterministic given seed" t1 t2;
+  List.iter (fun t -> Alcotest.(check bool) "delay within [1,6]" true (t >= 1 && t <= 6)) t1
+
+let test_schedule_not_counted () =
+  let tree = Dtree.create () in
+  let net = Net.create ~seed:5 ~tree () in
+  let fired = ref false in
+  Net.schedule net ~delay:3 (fun () -> fired := true);
+  Net.run net;
+  Alcotest.(check bool) "action ran" true !fired;
+  Alcotest.(check int) "not a message" 0 (Net.messages net);
+  Alcotest.(check int) "clock advanced" 3 (Net.now net)
+
+let suite =
+  ( "simnet",
+    [
+      Alcotest.test_case "event queue ordering" `Quick test_event_queue_order;
+      Alcotest.test_case "event queue bulk" `Quick test_event_queue_bulk;
+      Alcotest.test_case "delivery and counting" `Quick test_delivery_and_counting;
+      Alcotest.test_case "deletion forwarding" `Quick test_parent_resolution_after_deletion;
+      Alcotest.test_case "insertion interposition" `Quick test_parent_resolution_after_insertion;
+      Alcotest.test_case "delays bounded and deterministic" `Quick
+        test_delays_bounded_and_deterministic;
+      Alcotest.test_case "local actions uncounted" `Quick test_schedule_not_counted;
+    ] )

@@ -1,0 +1,59 @@
+open Controller
+
+let test_terminates_in_window () =
+  let rng = Rng.create ~seed:41 in
+  let tree = Workload.Shape.build rng (Workload.Shape.Random 40) in
+  let m = 100 and w = 20 in
+  let c = Terminating.create ~m ~w ~u:(Dtree.size tree + 400) ~tree () in
+  let wl = Workload.make ~seed:41 ~mix:Workload.Mix.churn () in
+  let after_term_grants = ref 0 in
+  for _ = 1 to 400 do
+    let was_terminated = Terminating.terminated c in
+    match Terminating.request c (Workload.next_op wl tree) with
+    | Terminating.Granted -> if was_terminated then incr after_term_grants
+    | Terminating.Terminated -> ()
+  done;
+  Alcotest.(check bool) "terminated" true (Terminating.terminated c);
+  Alcotest.(check int) "no grant after termination" 0 !after_term_grants;
+  let g = Terminating.granted c in
+  Alcotest.(check bool)
+    (Printf.sprintf "grants %d within [M-W, M]" g)
+    true
+    (g >= m - w && g <= m);
+  Alcotest.(check bool) "queued requests counted" true (Terminating.queued c > 0)
+
+let test_never_terminates_below_m () =
+  (* Fewer than M requests: every one must be granted, no termination. *)
+  let rng = Rng.create ~seed:42 in
+  let tree = Workload.Shape.build rng (Workload.Shape.Random 30) in
+  let c = Terminating.create ~m:500 ~w:50 ~u:1000 ~tree () in
+  let wl = Workload.make ~seed:42 ~mix:Workload.Mix.churn () in
+  for _ = 1 to 120 do
+    match Terminating.request c (Workload.next_op wl tree) with
+    | Terminating.Granted -> ()
+    | Terminating.Terminated -> Alcotest.fail "terminated below M requests"
+  done;
+  Alcotest.(check int) "all granted" 120 (Terminating.granted c);
+  Alcotest.(check bool) "not terminated" true (not (Terminating.terminated c))
+
+let prop_window =
+  Helpers.qcheck ~count:30 "termination window [M-W, M]"
+    QCheck2.Gen.(triple (int_range 0 99999) (int_range 1 200) (int_range 0 40))
+    (fun (seed, m, w) ->
+      let rng = Rng.create ~seed in
+      let tree = Workload.Shape.build rng (Workload.Shape.Random 25) in
+      let c = Terminating.create ~m ~w ~u:(Dtree.size tree + 3 * m + 50) ~tree () in
+      let wl = Workload.make ~seed ~mix:Workload.Mix.churn () in
+      for _ = 1 to (2 * m) + 40 do
+        ignore (Terminating.request c (Workload.next_op wl tree))
+      done;
+      let g = Terminating.granted c in
+      (not (Terminating.terminated c)) || (g >= m - w && g <= m))
+
+let suite =
+  ( "terminating",
+    [
+      Alcotest.test_case "terminates within window" `Quick test_terminates_in_window;
+      Alcotest.test_case "no termination below M requests" `Quick test_never_terminates_below_m;
+      prop_window;
+    ] )
