@@ -4,6 +4,37 @@
 
 open Controller
 
+(* Machine-readable per-experiment tallies. The experiments call [Results.note]
+   as they print each table row; bench/main.ml brackets every experiment with
+   [start]/[finish] and, under --json, writes the tallies out with
+   [Telemetry.Json]. When no bracket is active [note] is a no-op, so the
+   plain text mode is unchanged. *)
+module Results = struct
+  type tally = {
+    mutable messages : int;
+    mutable moves : int;
+    mutable bits : int;
+    mutable rows : int;
+  }
+
+  let current : tally option ref = ref None
+  let start () = current := Some { messages = 0; moves = 0; bits = 0; rows = 0 }
+
+  let note ?(messages = 0) ?(moves = 0) ?(bits = 0) () =
+    match !current with
+    | None -> ()
+    | Some t ->
+        t.messages <- t.messages + messages;
+        t.moves <- t.moves + moves;
+        t.bits <- t.bits + bits;
+        t.rows <- t.rows + 1
+
+  let finish () =
+    let r = !current in
+    current := None;
+    r
+end
+
 let hr () = Format.printf "%s@." (String.make 78 '-')
 
 let section id title =
@@ -53,6 +84,7 @@ let e1 () =
           ~mix:Workload.Mix.churn ()
       in
       let bound = theorem_3_5_bound ~n0 ~m ~w sizes in
+      Results.note ~moves ();
       Format.printf "%8d %12d %14s %14.0f %8.4f@." n0 granted (Stats.pretty_int moves)
         bound
         (float_of_int moves /. bound))
@@ -73,6 +105,7 @@ let e1 () =
       let n_max = List.fold_left max 16 sizes in
       let logmw = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
       let bound = float_of_int n_max *. log2f n_max *. log2f n_max *. logmw in
+      Results.note ~moves ();
       Format.printf "%8d %8d %12d %14s %14.0f %8.4f@." m n_max granted
         (Stats.pretty_int moves) bound
         (float_of_int moves /. bound))
@@ -103,6 +136,7 @@ let e2 () =
       done;
       let logterm = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
       let bound = float_of_int u *. log2f u *. log2f u *. logterm in
+      Results.note ~moves:(Iterated.moves ctrl) ();
       Format.printf "%8d %14.2f %12d %12s %16.0f %8.4f@." w logterm
         (Iterated.iterations ctrl)
         (Stats.pretty_int (Iterated.moves ctrl))
@@ -164,6 +198,7 @@ let e3 () =
           t3
       in
       let per m g = float_of_int m /. float_of_int (max 1 g) in
+      Results.note ~moves:ours_moves ();
       Format.printf "%6d %6d | %10s %7d %9.1f | %10s %7d %9.1f | %10s %9.1f@." n0 m
         (Stats.pretty_int ours_moves) ours_granted (per ours_moves ours_granted)
         (Stats.pretty_int aaps_moves) aaps_granted (per aaps_moves aaps_granted)
@@ -200,6 +235,7 @@ let e4 () =
       for _ = 1 to requests do
         ignore (Baseline_trivial.request triv (Workload.next_op wl2 tree2))
       done;
+      Results.note ~moves:(Adaptive.moves ctrl) ();
       Format.printf "%6d %14s | %12s %12s %8.2f@." n0 mix_name
         (Stats.pretty_int (Adaptive.moves ctrl))
         (Stats.pretty_int (Baseline_trivial.moves triv))
@@ -244,6 +280,8 @@ let e5 () =
       in
       let logmw = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
       let bound = float_of_int n0 *. log2f n0 *. log2f n0 *. logmw in
+      Results.note ~messages:stats.Dist_harness.messages
+        ~bits:stats.Dist_harness.total_bits ();
       Format.printf "%6d %10d %12s %14.0f %8.4f %10d %9d@." n0
         stats.Dist_harness.granted
         (Stats.pretty_int stats.Dist_harness.messages)
@@ -306,6 +344,7 @@ let e6 () =
       let total =
         Net.messages net + Estimator.Size_estimation.overhead_messages se
       in
+      Results.note ~messages:total ~bits:(Net.total_bits net) ();
       Format.printf "%6d %6.1f %9d %8d %12s %14.1f %14.1f   (worst ratio %.3f)@." n0
         beta changes
         (Estimator.Size_estimation.epochs se)
@@ -354,6 +393,7 @@ let e7 () =
       done;
       Net.run net;
       let total = Net.messages net + Estimator.Name_assignment.overhead_messages na in
+      Results.note ~messages:total ~bits:(Net.total_bits net) ();
       Format.printf "%6d %9d %8d %12s %14.1f %12.3f@." n0 changes
         (Estimator.Name_assignment.epochs na)
         (Stats.pretty_int total)
@@ -380,6 +420,7 @@ let e8 () =
       let sw_root =
         Estimator.Subtree_estimator.super_weight (Estimator.Heavy_child.estimator hc) 0
       in
+      Results.note ~messages:(Estimator.Heavy_child.messages hc) ();
       Format.printf "%20s %9d %8d %8d %14.1f %16s@."
         (Workload.Shape.name shape)
         changes (Dtree.size tree)
@@ -412,6 +453,8 @@ let e9 () =
       for _ = 1 to changes do
         Estimator.Ancestry_labeling.submit al (Workload.next_op wl tree)
       done;
+      Results.note ~messages:(Estimator.Ancestry_labeling.messages al)
+        ~bits:(Estimator.Ancestry_labeling.label_bits al) ();
       Format.printf "%6d %9d %8d %10d %12d %12d %14s@." n0 changes (Dtree.size tree)
         (Estimator.Ancestry_labeling.relabels al)
         (Estimator.Ancestry_labeling.label_bits al)
@@ -437,6 +480,8 @@ let e10 () =
       let log_n = Stats.ceil_log2 (max 2 nmax) and log_u = Stats.ceil_log2 (max 2 nmax) in
       (* the queue term deg(v) log N is bounded by concurrency here *)
       let bound = (16 * log_n) + (log_n * log_n * log_n) + (log_u * log_u) in
+      Results.note ~messages:stats.Dist_harness.messages
+        ~bits:stats.Dist_harness.max_wb_bits ();
       Format.printf "%20s %6d %14d %14d@." (Workload.Shape.name shape) n0
         stats.Dist_harness.max_wb_bits bound)
     [
@@ -464,6 +509,8 @@ let e11 () =
       for _ = 1 to changes do
         Estimator.Tree_routing.submit tr (Workload.next_op wl tree)
       done;
+      Results.note ~messages:(Estimator.Tree_routing.messages tr)
+        ~bits:(Estimator.Tree_routing.address_bits tr) ();
       Format.printf "%10s %6d %9d %12d %12d %12s %10d@." "routing" n0 changes
         (Estimator.Tree_routing.address_bits tr)
         (2 * Stats.ceil_log2 (max 2 (Dtree.size tree)))
@@ -489,6 +536,8 @@ let e11 () =
       for _ = 1 to changes do
         Estimator.Nca_labeling.submit nl (Workload.next_op wl tree)
       done;
+      Results.note ~messages:(Estimator.Nca_labeling.messages nl)
+        ~bits:(Estimator.Nca_labeling.max_label_bits nl) ();
       Format.printf "%10s %6d %9d %12d %12d %12s %10d@." "nca" n0 changes
         (Estimator.Nca_labeling.max_label_bits nl)
         (let lg = Stats.ceil_log2 (max 2 (Dtree.size tree)) in
@@ -510,6 +559,8 @@ let e11 () =
             incr deleted
         | _ -> ()
       done;
+      Results.note ~messages:(Estimator.Distance_labeling.messages dl)
+        ~bits:(Estimator.Distance_labeling.max_label_bits dl) ();
       Format.printf "%10s %6d %9d %12d %12d %12s %10d@." "distance" n0 !deleted
         (Estimator.Distance_labeling.max_label_bits dl)
         (let lg = Stats.ceil_log2 (max 2 (Dtree.size tree)) in
@@ -549,6 +600,7 @@ let e12 () =
         | Types.Exhausted -> exhausted := true
         | Types.Rejected -> assert false
       done;
+      Results.note ~moves:(Central.moves c) ();
       Format.printf "%10.2f %8d %12s %12d %12d %14s@." scale params.Params.psi
         (Stats.pretty_int (Central.moves c))
         (Central.granted c) (Central.leftover c)
@@ -570,6 +622,8 @@ let e13 () =
         Dist_harness.run ~seed:181 ~concurrency:conc ~shape:(Workload.Shape.Random 256)
           ~mix:Workload.Mix.churn ~m:512 ~w:64 ~requests:400 ()
       in
+      Results.note ~messages:stats.Dist_harness.messages
+        ~bits:stats.Dist_harness.total_bits ();
       Format.printf "%12d %10d %12s %12s@." conc stats.Dist_harness.granted
         (Stats.pretty_int stats.Dist_harness.messages)
         (Stats.pretty_int stats.Dist_harness.sim_time))

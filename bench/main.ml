@@ -4,7 +4,9 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- e3 e5   # selected experiments
-     dune exec bench/main.exe -- micro   # micro-benchmarks only *)
+     dune exec bench/main.exe -- micro   # micro-benchmarks only
+     dune exec bench/main.exe -- --json BENCH_e.json e1 e3
+                                         # also write per-experiment tallies *)
 
 open Bechamel
 open Toolkit
@@ -88,13 +90,47 @@ let run_micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json_file, args =
+    let rec strip acc = function
+      | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+      | a :: rest -> strip (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    strip [] args
+  in
+  let results = ref [] in
   let wanted = if args = [] then List.map fst Experiments.all @ [ "micro" ] else args in
   List.iter
     (fun name ->
       if name = "micro" then run_micro ()
       else
         match List.assoc_opt name Experiments.all with
-        | Some f -> f ()
+        | Some f ->
+            Experiments.Results.start ();
+            let t0 = Unix.gettimeofday () in
+            f ();
+            let wall = Unix.gettimeofday () -. t0 in
+            Option.iter
+              (fun tally -> results := (name, tally, wall) :: !results)
+              (Experiments.Results.finish ())
         | None -> Format.printf "unknown experiment %S (have: e1..e13, micro)@." name)
     wanted;
+  (match json_file with
+  | None -> ()
+  | Some path ->
+      let open Telemetry.Json in
+      let entry (name, t, wall) =
+        ( name,
+          Obj
+            [
+              ("messages", Int t.Experiments.Results.messages);
+              ("moves", Int t.Experiments.Results.moves);
+              ("bits", Int t.Experiments.Results.bits);
+              ("rows", Int t.Experiments.Results.rows);
+              ("wall_s", Float wall);
+            ] )
+      in
+      Telemetry.Export.write_file path
+        (to_string (Obj (List.rev_map entry !results)) ^ "\n");
+      Format.printf "json results -> %s@." path);
   Format.printf "@."

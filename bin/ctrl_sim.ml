@@ -49,6 +49,43 @@ let budget_arg = Arg.(value & opt int 512 & info [ "budget"; "m" ] ~doc:"permit 
 let waste_arg = Arg.(value & opt int 64 & info [ "waste"; "w" ] ~doc:"waste bound W")
 
 (* ------------------------------------------------------------------ *)
+(* telemetry plumbing                                                  *)
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"write a Prometheus-style metrics dump to $(docv) at the end of the run")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"write the structured event trace (JSONL, one event per line) to $(docv)")
+
+(* Only build a sink when at least one output was requested, so the default
+   path keeps the controllers' allocation-free no-telemetry guarantee. *)
+let make_sink metrics_out trace_out =
+  match (metrics_out, trace_out) with
+  | None, None -> None
+  | _ -> Some (Telemetry.Sink.create ())
+
+let flush_sink sink metrics_out trace_out =
+  match sink with
+  | None -> ()
+  | Some s ->
+      Option.iter
+        (fun path ->
+          Telemetry.Export.write_file path
+            (Telemetry.Export.prometheus (Telemetry.Sink.metrics s));
+          Format.printf "metrics dump     %s@." path)
+        metrics_out;
+      Option.iter
+        (fun path ->
+          Telemetry.Sink.write_jsonl s path;
+          Format.printf "event trace      %s (%d events)@." path
+            (Telemetry.Sink.event_count s))
+        trace_out
+
+(* ------------------------------------------------------------------ *)
 (* run: controllers                                                    *)
 
 let run_centralized request moves tree ~seed ~mix ~requests =
@@ -64,23 +101,35 @@ let run_centralized request moves tree ~seed ~mix ~requests =
   Format.printf "move complexity  %s@." (Stats.pretty_int (moves ()));
   Format.printf "final size       %s@." (Stats.pretty_int (Dtree.size tree))
 
-let run_main verbose kind_s shape_s mix_s n0 requests m w seed =
+let run_main verbose kind_s shape_s mix_s n0 requests m w seed metrics_out trace_out =
   setup_logs verbose;
   let mix = mix_of mix_s in
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
   let u = n0 + requests in
+  let sink = make_sink metrics_out trace_out in
   Format.printf "controller=%s shape=%s mix=%s n0=%d requests=%d M=%d W=%d U=%d@.@."
     kind_s shape_s mix_s n0 requests m w u;
   (match kind_s with
   | "central" ->
-      let c = Central.create ~params:(Params.make ~m ~w:(max 1 w) ~u) ~tree () in
+      let c =
+        Central.create ?telemetry:sink ~params:(Params.make ~m ~w:(max 1 w) ~u) ~tree ()
+      in
       run_centralized (Central.request c) (fun () -> Central.moves c) tree ~seed ~mix ~requests
   | "iterated" ->
-      let c = Iterated.create ~m ~w ~u ~tree () in
+      let c =
+        match sink with
+        | None -> Iterated.create ~m ~w ~u ~tree ()
+        | Some _ ->
+            Iterated.create_custom
+              ~make_base:(fun ~m ~w ->
+                Central.create ~reject_mode:Types.Report ?telemetry:sink
+                  ~params:(Params.make ~m ~w ~u) ~tree ())
+              ~m ~w ~tree ()
+      in
       run_centralized (Iterated.request c) (fun () -> Iterated.moves c) tree ~seed ~mix ~requests
   | "adaptive" ->
-      let c = Adaptive.create ~m ~w ~tree () in
+      let c = Adaptive.create ?telemetry:sink ~m ~w ~tree () in
       run_centralized (Adaptive.request c) (fun () -> Adaptive.moves c) tree ~seed ~mix ~requests
   | "trivial" ->
       let c = Baseline_trivial.create ~m ~tree in
@@ -95,11 +144,11 @@ let run_main verbose kind_s shape_s mix_s n0 requests m w seed =
         tree ~seed ~mix ~requests
   | "dist" ->
       let stats =
-        Dist_harness.run ~seed ~shape:(shape_of ~n:n0 shape_s) ~mix ~m ~w ~requests ()
+        Dist_harness.run ~seed ?sink ~shape:(shape_of ~n:n0 shape_s) ~mix ~m ~w ~requests ()
       in
       Format.printf "%a@." Dist_harness.pp_stats stats
   | "dist-adaptive" ->
-      let net = Net.create ~seed:(seed + 1) ~tree () in
+      let net = Net.create ~seed:(seed + 1) ?sink ~tree () in
       let da = Dist_adaptive.create ~m ~w ~net () in
       let g, r, _ =
         Dist_harness.run_on ~seed ~net ~mix ~requests ~submit:(Dist_adaptive.submit da) ()
@@ -109,6 +158,7 @@ let run_main verbose kind_s shape_s mix_s n0 requests m w seed =
         (Stats.pretty_int (Net.messages net))
         (Stats.pretty_int (Dist_adaptive.overhead_messages da))
   | s -> invalid_arg ("unknown controller: " ^ s));
+  flush_sink sink metrics_out trace_out;
   0
 
 let run_cmd =
@@ -121,7 +171,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"run an (M,W)-controller on a generated scenario")
     Term.(const run_main $ verbose_arg $ kind $ shape_arg $ mix_arg $ n0_arg $ requests
-          $ budget_arg $ waste_arg $ seed_arg)
+          $ budget_arg $ waste_arg $ seed_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* size-est and names: the Section 5 protocols                         *)
@@ -150,10 +200,11 @@ let drive_estimator ~seed ~mix ~changes ~net ~tree ~submit =
   done;
   Net.run net
 
-let size_est_main shape_s mix_s n0 changes beta seed =
+let size_est_main shape_s mix_s n0 changes beta seed metrics_out trace_out =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
-  let net = Net.create ~seed:(seed + 1) ~tree () in
+  let sink = make_sink metrics_out trace_out in
+  let net = Net.create ~seed:(seed + 1) ?sink ~tree () in
   let se = Estimator.Size_estimation.create ~beta ~net () in
   drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
     ~submit:(Estimator.Size_estimation.submit se);
@@ -165,6 +216,7 @@ let size_est_main shape_s mix_s n0 changes beta seed =
     (Dtree.size tree)
     (Stats.pretty_int (Net.messages net))
     (Stats.pretty_int (Estimator.Size_estimation.overhead_messages se));
+  flush_sink sink metrics_out trace_out;
   0
 
 let size_est_cmd =
@@ -172,12 +224,14 @@ let size_est_cmd =
   let beta = Arg.(value & opt float 2.0 & info [ "beta" ] ~doc:"approximation factor") in
   Cmd.v
     (Cmd.info "size-est" ~doc:"run the Theorem 5.1 size-estimation protocol")
-    Term.(const size_est_main $ shape_arg $ mix_arg $ n0_arg $ changes $ beta $ seed_arg)
+    Term.(const size_est_main $ shape_arg $ mix_arg $ n0_arg $ changes $ beta $ seed_arg
+          $ metrics_out_arg $ trace_out_arg)
 
-let names_main shape_s mix_s n0 changes seed =
+let names_main shape_s mix_s n0 changes seed metrics_out trace_out =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
-  let net = Net.create ~seed:(seed + 1) ~tree () in
+  let sink = make_sink metrics_out trace_out in
+  let net = Net.create ~seed:(seed + 1) ?sink ~tree () in
   let na = Estimator.Name_assignment.create ~net () in
   drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
     ~submit:(Estimator.Name_assignment.submit na);
@@ -190,13 +244,15 @@ let names_main shape_s mix_s n0 changes seed =
     (Estimator.Name_assignment.epochs na)
     (Stats.pretty_int (Net.messages net))
     (Stats.pretty_int (Estimator.Name_assignment.overhead_messages na));
+  flush_sink sink metrics_out trace_out;
   0
 
 let names_cmd =
   let changes = Arg.(value & opt int 500 & info [ "changes" ] ~doc:"topological changes") in
   Cmd.v
     (Cmd.info "names" ~doc:"run the Theorem 5.2 name-assignment protocol")
-    Term.(const names_main $ shape_arg $ mix_arg $ n0_arg $ changes $ seed_arg)
+    Term.(const names_main $ shape_arg $ mix_arg $ n0_arg $ changes $ seed_arg
+          $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: capture and replay scenarios                                 *)

@@ -5,6 +5,8 @@ type t = {
   variant : variant;
   w : int;
   reject_mode : Types.reject_mode;
+  telemetry : Telemetry.Sink.t option;
+  mutable ticks : int;  (* requests seen: event timestamps *)
   mutable inner : Iterated.t;
   mutable m_i : int;
   mutable u_i : int;
@@ -24,12 +26,22 @@ let epoch_bound t m_i =
   | By_changes -> 2 * Dtree.size t.tree
   | By_doubling -> (2 * t.nmax) + m_i
 
+let make_iterated ?telemetry ~m ~w ~u ~tree () =
+  match telemetry with
+  | None -> Iterated.create ~reject_mode:Types.Report ~m ~w ~u ~tree ()
+  | Some _ ->
+      Iterated.create_custom ~reject_mode:Types.Report
+        ~make_base:(fun ~m ~w ->
+          Central.create ~reject_mode:Types.Report ?telemetry
+            ~params:(Params.make ~m ~w ~u) ~tree ())
+        ~m ~w ~tree ()
+
 let new_inner t m_i =
   let u = max 2 (epoch_bound t m_i) in
   t.u_i <- u;
-  Iterated.create ~reject_mode:Types.Report ~m:m_i ~w:t.w ~u ~tree:t.tree ()
+  make_iterated ?telemetry:t.telemetry ~m:m_i ~w:t.w ~u ~tree:t.tree ()
 
-let create ?(variant = By_changes) ?(reject_mode = Types.Wave) ~m ~w ~tree () =
+let create ?(variant = By_changes) ?(reject_mode = Types.Wave) ?telemetry ~m ~w ~tree () =
   if m < 0 || w < 0 then invalid_arg "Adaptive.create: bad parameters";
   let n0 = Dtree.size tree in
   let u1 =
@@ -40,7 +52,9 @@ let create ?(variant = By_changes) ?(reject_mode = Types.Wave) ~m ~w ~tree () =
     variant;
     w;
     reject_mode;
-    inner = Iterated.create ~reject_mode:Types.Report ~m ~w ~u:u1 ~tree ();
+    telemetry;
+    ticks = 0;
+    inner = make_iterated ?telemetry ~m ~w ~u:u1 ~tree ();
     m_i = m;
     u_i = u1;
     z_i = 0;
@@ -75,6 +89,14 @@ let rotate t =
   t.z_i <- 0;
   t.epoch_nmax <- t.nmax;
   t.epochs <- t.epochs + 1;
+  (match t.telemetry with
+  | None -> ()
+  | Some s ->
+      Telemetry.Sink.event s ~time:t.ticks
+        (Telemetry.Event.Epoch
+           { ctrl = "adaptive"; epoch = t.epochs; n = Dtree.size t.tree });
+      Telemetry.Metrics.inc
+        (Telemetry.Metrics.counter (Telemetry.Sink.metrics s) "ctrl_epochs_total"));
   t.inner <- new_inner t leftover
 
 let reject t =
@@ -90,6 +112,7 @@ let reject t =
       Types.Rejected
 
 let request t op =
+  t.ticks <- t.ticks + 1;
   if t.dead then reject t
   else
     match Iterated.request t.inner op with

@@ -25,12 +25,19 @@ type t
 val create :
   ?variant:variant ->
   ?reject_mode:Types.reject_mode ->
+  ?telemetry:Telemetry.Sink.t ->
   m:int ->
   w:int ->
   tree:Dtree.t ->
   unit ->
   t
-(** [variant] defaults to [By_changes]. *)
+(** [variant] defaults to [By_changes].
+
+    With a [telemetry] sink every epoch rotation records an [Epoch] event
+    (and the [ctrl_epochs_total] counter), and the inner iterated
+    controller's {!Central} bases are built instrumented, so permit spans
+    and package life-cycle events flow to the same sink. Event times are
+    the running request count. *)
 
 val request : t -> Workload.op -> Types.outcome
 val moves : t -> int

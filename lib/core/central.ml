@@ -36,10 +36,13 @@ type t = {
   reject_mode : Types.reject_mode;
   tracker : Domain_tracker.t option;
   hooks : hooks;
+  telemetry : Telemetry.Sink.t option;
+  ticks : int ref;  (* requests served: the centralized "clock" for events *)
 }
 
 let create ?(track_domains = false) ?(reject_mode = Types.Wave) ?(hooks = no_hooks)
-    ~params ~tree () =
+    ?telemetry ~params ~tree () =
+  let ticks = ref 0 in
   {
     params;
     tree;
@@ -51,9 +54,23 @@ let create ?(track_domains = false) ?(reject_mode = Types.Wave) ?(hooks = no_hoo
     rejected = 0;
     wave = false;
     reject_mode;
-    tracker = (if track_domains then Some (Domain_tracker.create ~params ~tree) else None);
+    tracker =
+      (if track_domains then
+         Some
+           (Domain_tracker.create ?telemetry ~clock:(fun () -> !ticks) ~params ~tree ())
+       else None);
     hooks;
+    telemetry;
+    ticks;
   }
+
+let emit t kind =
+  match t.telemetry with
+  | None -> ()
+  | Some s -> Telemetry.Sink.event s ~time:!(t.ticks) kind
+
+let with_metrics t f =
+  match t.telemetry with None -> () | Some s -> f (Telemetry.Sink.metrics s)
 
 let store t v =
   match Hashtbl.find_opt t.stores v with
@@ -95,7 +112,10 @@ let reject_wave t =
         m "reject wave: granted %d of M=%d (leftover %d) over %d nodes" t.granted
           t.params.Params.m (leftover t) (Dtree.size t.tree));
     Dtree.iter_nodes t.tree ~f:(fun v -> Store.set_rejecting (store t v));
-    t.moves <- t.moves + Dtree.size t.tree
+    t.moves <- t.moves + Dtree.size t.tree;
+    emit t (Telemetry.Event.Reject_wave { ctrl = "central"; node = Dtree.root t.tree });
+    with_metrics t (fun m ->
+        Telemetry.Metrics.inc (Telemetry.Metrics.counter m "ctrl_reject_waves_total"))
   end
 
 (* Apply a granted topological change. A deleted node first moves its
@@ -115,6 +135,7 @@ let apply_event t op =
                  List.iter (fun pkg -> Domain_tracker.host_moved tr pkg p) (Store.mobiles s));
              Store.absorb (store t p) s;
              t.hooks.on_package_event (Store_moved { from_ = v; to_ = p });
+             emit t (Telemetry.Event.Package_join { ctrl = "central"; from_ = v; to_ = p });
              t.moves <- t.moves + 1);
       Hashtbl.remove t.stores v
   | Workload.Add_leaf _ | Workload.Add_internal _ | Workload.Non_topological _ -> ());
@@ -139,6 +160,9 @@ let rec proc t ~u pkg ~d_w =
       ~size:pkg.Package.size;
     with_tracker t (fun tr -> Domain_tracker.cancel tr pkg);
     t.hooks.on_package_event (Became_static { pkg; node = u });
+    emit t
+      (Telemetry.Event.Package_static
+         { ctrl = "central"; node = u; size = pkg.Package.size });
     Store.add_static (store t u) pkg.Package.size
   end
   else begin
@@ -155,6 +179,12 @@ let rec proc t ~u pkg ~d_w =
     with_tracker t (fun tr -> Domain_tracker.cancel tr pkg);
     let p1, p2 = Package.split t.alloc pkg in
     t.hooks.on_package_event (Split { parent = pkg; left = p1; right = p2 });
+    emit t (Telemetry.Event.Package_split { ctrl = "central"; level = k });
+    with_metrics t (fun m ->
+        Telemetry.Metrics.inc
+          (Telemetry.Metrics.counter m
+             ~labels:[ ("level", string_of_int k) ]
+             "pkg_splits_total"));
     Store.add_mobile (store t target) p1;
     with_tracker t (fun tr -> Domain_tracker.assign tr p1 ~host:target ~requester:u);
     proc t ~u p2 ~d_w:td
@@ -186,32 +216,65 @@ let rec climb t ~u w ~d =
             t.storage <- t.storage - need;
             let pkg = Package.create t.alloc ~params:t.params ~level:j in
             t.hooks.on_package_event (Created pkg);
+            emit t
+              (Telemetry.Event.Package_created { ctrl = "central"; level = j; size = need });
             proc t ~u pkg ~d_w:d;
             Ok ()
           end)
 
-let request t op =
-  if not (Workload.valid_op t.tree op) then
-    invalid_arg (Format.asprintf "Central.request: invalid op %a" Workload.pp_op op);
+let serve t op =
   let u = Workload.request_site t.tree op in
   let s = store t u in
   if Store.rejecting s then begin
     t.rejected <- t.rejected + 1;
-    Types.Rejected
+    (u, Types.Rejected)
   end
   else if Store.static s > 0 then begin
     grant t u op;
-    Types.Granted
+    (u, Types.Granted)
   end
   else
     match climb t ~u u ~d:0 with
     | Ok () ->
         grant t u op;
-        Types.Granted
+        (u, Types.Granted)
     | Error `Exhausted -> (
         match t.reject_mode with
-        | Types.Report -> Types.Exhausted
+        | Types.Report -> (u, Types.Exhausted)
         | Types.Wave ->
             reject_wave t;
             t.rejected <- t.rejected + 1;
-            Types.Rejected)
+            (u, Types.Rejected))
+
+let request t op =
+  if not (Workload.valid_op t.tree op) then
+    invalid_arg (Format.asprintf "Central.request: invalid op %a" Workload.pp_op op);
+  match t.telemetry with
+  | None ->
+      let _, outcome = serve t op in
+      outcome
+  | Some sink ->
+      incr t.ticks;
+      let aid = !(t.ticks) in
+      let moves_before = t.moves in
+      let u, outcome = serve t op in
+      let outcome_s = Types.outcome_name outcome in
+      Telemetry.Sink.event sink ~time:aid
+        (Telemetry.Event.Permit_span
+           {
+             ctrl = "central";
+             node = u;
+             aid;
+             outcome = outcome_s;
+             submitted = aid;
+             latency = 0;
+           });
+      let m = Telemetry.Sink.metrics sink in
+      Telemetry.Metrics.inc
+        (Telemetry.Metrics.counter m
+           ~labels:[ ("ctrl", "central"); ("outcome", outcome_s) ]
+           "ctrl_requests_total");
+      Telemetry.Metrics.add
+        (Telemetry.Metrics.counter m "ctrl_moves_total")
+        (t.moves - moves_before);
+      outcome

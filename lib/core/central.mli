@@ -58,13 +58,23 @@ val create :
   ?track_domains:bool ->
   ?reject_mode:Types.reject_mode ->
   ?hooks:hooks ->
+  ?telemetry:Telemetry.Sink.t ->
   params:Params.t ->
   tree:Dtree.t ->
   unit ->
   t
 (** A fresh controller: [M] permits in the root's storage, no packages
     anywhere. [reject_mode] defaults to [Wave]. [track_domains] (default
-    false) maintains the analysis domains for invariant checking. *)
+    false) maintains the analysis domains for invariant checking.
+
+    With a [telemetry] sink every request records a zero-latency
+    [Permit_span] event (the centralized controller is synchronous; event
+    times are the running request count) plus the
+    [ctrl_requests_total{ctrl,outcome}] and [ctrl_moves_total] counters, and
+    the package life cycle records [Package_created] / [Package_split] (with
+    the [pkg_splits_total{level}] counter) / [Package_static] /
+    [Package_join] and [Reject_wave] events. Without a sink no telemetry
+    code runs. *)
 
 val request : t -> Workload.op -> Types.outcome
 (** Serve one request arriving at [Workload.request_site]. In [Report] mode

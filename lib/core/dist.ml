@@ -29,6 +29,7 @@ and agent = {
   aid : int;
   op : Workload.op;
   k : Types.outcome -> unit;
+  t0 : int;  (* simulated submission time, for permit-span telemetry *)
   mutable origin : Dtree.node;
   mutable distance : int;  (* taxi counter: hops from origin *)
   mutable top : int;  (* taxi counter: topmost distance reached *)
@@ -116,6 +117,15 @@ let reject_bits t = log_n t
 
 let tag t suffix = t.config.name ^ "-" ^ suffix
 
+(* Telemetry rides the network's sink; no sink, no work. *)
+let emit t kind =
+  match Net.sink t.net with
+  | None -> ()
+  | Some s -> Telemetry.Sink.event s ~time:(Net.now t.net) kind
+
+let with_metrics t f =
+  match Net.sink t.net with None -> () | Some s -> f (Telemetry.Sink.metrics s)
+
 let is_topological = function
   | Workload.Add_leaf _ | Workload.Remove_leaf _ | Workload.Add_internal _
   | Workload.Remove_internal _ ->
@@ -144,6 +154,9 @@ let start_wave t r =
     Central.Log.debug (fun m ->
         m "[%s] distributed reject wave from node %d: granted %d of M=%d"
           t.config.name r t.granted t.params.Params.m);
+    emit t (Telemetry.Event.Reject_wave { ctrl = t.config.name; node = r });
+    with_metrics t (fun m ->
+        Telemetry.Metrics.inc (Telemetry.Metrics.counter m "ctrl_reject_waves_total"));
     let b = wb t r in
     b.reject <- true;
     touch_mem t r;
@@ -173,6 +186,7 @@ let absorb t ~parent ~child =
       pb.reject <- pb.reject || cb.reject;
       Hashtbl.remove t.wbs child;
       touch_mem t parent;
+      emit t (Telemetry.Event.Package_join { ctrl = t.config.name; from_ = child; to_ = parent });
       had_reject
 
 let note_applied t info =
@@ -230,6 +244,31 @@ let finish t a outcome =
   (match outcome with
   | Types.Rejected -> t.rejected <- t.rejected + 1
   | Types.Granted | Types.Exhausted -> ());
+  (match Net.sink t.net with
+  | None -> ()
+  | Some s ->
+      let now = Net.now t.net in
+      let outcome_s = Types.outcome_name outcome in
+      Telemetry.Sink.event s ~time:now
+        (Telemetry.Event.Permit_span
+           {
+             ctrl = t.config.name;
+             node = a.origin;
+             aid = a.aid;
+             outcome = outcome_s;
+             submitted = a.t0;
+             latency = now - a.t0;
+           });
+      let m = Telemetry.Sink.metrics s in
+      Telemetry.Metrics.inc
+        (Telemetry.Metrics.counter m
+           ~labels:[ ("ctrl", t.config.name); ("outcome", outcome_s) ]
+           "ctrl_requests_total");
+      Telemetry.Metrics.observe
+        (Telemetry.Metrics.histogram m
+           ~labels:[ ("ctrl", t.config.name) ]
+           "permit_latency_time")
+        (now - a.t0));
   a.k outcome
 
 (* Unlock [v] and, FIFO, resume waiting agents (local computation takes
@@ -333,6 +372,7 @@ and at_root t a r =
   else begin
     t.storage <- t.storage - need;
     a.bag <- j;
+    emit t (Telemetry.Event.Package_created { ctrl = t.config.name; level = j; size = need });
     t.config.on_permits_down ~node:r ~size:need;
     distribute t a r
   end
@@ -348,6 +388,9 @@ and distribute t a w =
     b.static <- b.static + t.params.Params.phi - 1;
     t.granted <- t.granted + 1;
     a.bag <- -1;
+    emit t
+      (Telemetry.Event.Package_static
+         { ctrl = t.config.name; node = w; size = t.params.Params.phi });
     touch_mem t w;
     if a.top = 0 then begin
       unlock t w;
@@ -367,6 +410,12 @@ and distribute t a w =
         then begin
           let b = wb t x in
           b.mobiles.(a.bag - 1) <- b.mobiles.(a.bag - 1) + 1;
+          emit t (Telemetry.Event.Package_split { ctrl = t.config.name; level = a.bag });
+          with_metrics t (fun m ->
+              Telemetry.Metrics.inc
+                (Telemetry.Metrics.counter m
+                   ~labels:[ ("level", string_of_int a.bag) ]
+                   "pkg_splits_total"));
           a.bag <- a.bag - 1;
           touch_mem t x
         end;
@@ -427,6 +476,7 @@ and conclude_grant t a =
 
 let submit t op ~k =
   t.outstanding <- t.outstanding + 1;
+  let t0 = Net.now t.net in
   Net.schedule t.net ~delay:1 (fun () ->
       let site = Net.resolve t.net (Workload.request_site (tree t) op) in
       let a =
@@ -434,6 +484,7 @@ let submit t op ~k =
           aid = t.next_aid;
           op;
           k;
+          t0;
           origin = site;
           distance = 0;
           top = 0;

@@ -42,7 +42,14 @@ type config = {
 val default_config : config
 
 val create : ?config:config -> params:Params.t -> net:Net.t -> unit -> t
-(** The tree is [Net.tree net]. *)
+(** The tree is [Net.tree net]. Telemetry rides the network's sink
+    ([Net.sink]): each request records a [Permit_span] event at its answer
+    (submit-to-answer latency in simulated time, also observed by the
+    [permit_latency_time{ctrl}] histogram and the
+    [ctrl_requests_total{ctrl,outcome}] counter), and the package life cycle
+    records [Package_created] / [Package_split] (plus
+    [pkg_splits_total{level}]) / [Package_static] / [Package_join] /
+    [Reject_wave] events tagged with the controller's [config.name]. *)
 
 val submit : t -> Workload.op -> k:(Types.outcome -> unit) -> unit
 (** Inject a request at its arrival site (asynchronously; drive the net to

@@ -223,6 +223,13 @@ and rotate t =
   Central.Log.debug (fun m ->
       m "epoch %d rotation: n=%d, budget left %d, main exhausted %b" t.epochs n
         (Dist.leftover t.main) t.main_exhausted);
+  (match Net.sink t.net with
+  | None -> ()
+  | Some s ->
+      Telemetry.Sink.event s ~time:(Net.now t.net)
+        (Telemetry.Event.Epoch { ctrl = "dist-adaptive"; epoch = t.epochs + 1; n });
+      Telemetry.Metrics.inc
+        (Telemetry.Metrics.counter (Telemetry.Sink.metrics s) "ctrl_epochs_total"));
   (* broadcast + upcast to count nodes and unused permits, plus the
      whiteboard-reset broadcast (Appendix A) *)
   t.overhead <- t.overhead + (5 * n);

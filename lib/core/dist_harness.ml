@@ -4,6 +4,7 @@ type stats = {
   rejected : int;
   unanswered : int;
   messages : int;
+  total_bits : int;
   max_message_bits : int;
   sim_time : int;
   final_size : int;
@@ -57,12 +58,12 @@ let run_on ?(seed = 0xD1CE) ?(concurrency = 8) ~net ~mix ~requests ~submit () =
   Net.run net;
   (!granted, !rejected, !unanswered)
 
-let run ?(seed = 0xD1CE) ?(max_delay = 8) ?(concurrency = 8) ?config ~shape ~mix
-    ~m ~w ~requests () =
+let run ?(seed = 0xD1CE) ?(max_delay = 8) ?(concurrency = 8) ?config ?sink
+    ~shape ~mix ~m ~w ~requests () =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng shape in
   let u = Dtree.size tree + requests in
-  let net = Net.create ~seed:(seed + 1) ~max_delay ~tree () in
+  let net = Net.create ~seed:(seed + 1) ~max_delay ?sink ~tree () in
   let params = Params.make ~m ~w:(max 1 w) ~u in
   let d = Dist.create ?config ~params ~net () in
   let granted, rejected, unanswered =
@@ -74,6 +75,7 @@ let run ?(seed = 0xD1CE) ?(max_delay = 8) ?(concurrency = 8) ?config ~shape ~mix
     rejected;
     unanswered;
     messages = Net.messages net;
+    total_bits = Net.total_bits net;
     max_message_bits = Net.max_message_bits net;
     sim_time = Net.now net;
     final_size = Dtree.size tree;

@@ -12,6 +12,7 @@ type stats = {
   rejected : int;
   unanswered : int;  (** [Exhausted] answers (hold-mode epochs only) *)
   messages : int;
+  total_bits : int;  (** sum of message sizes over the whole run *)
   max_message_bits : int;
   sim_time : int;
   final_size : int;
@@ -25,6 +26,7 @@ val run :
   ?max_delay:int ->
   ?concurrency:int ->
   ?config:Dist.config ->
+  ?sink:Telemetry.Sink.t ->
   shape:Workload.Shape.t ->
   mix:Workload.Mix.t ->
   m:int ->
@@ -34,7 +36,8 @@ val run :
   stats
 (** Build the tree, run a fixed-[U] distributed [(M,W)]-controller
     ([U = n0 + requests]) against [requests] workload requests with the given
-    concurrency (default 8), drain the network, and report. *)
+    concurrency (default 8), drain the network, and report. [sink] is passed
+    to {!Net.create}, so the run records full telemetry. *)
 
 val run_on :
   ?seed:int ->

@@ -9,9 +9,32 @@ type t = {
   tree : Dtree.t;
   doms : (int, dom) Hashtbl.t;  (* package id -> domain *)
   by_node : (Dtree.node, (int, unit) Hashtbl.t) Hashtbl.t;
+  telemetry : Telemetry.Sink.t option;
+  clock : unit -> int;
 }
 
-let create ~params ~tree = { params; tree; doms = Hashtbl.create 64; by_node = Hashtbl.create 256 }
+let create ?telemetry ?(clock = fun () -> 0) ~params ~tree () =
+  {
+    params;
+    tree;
+    doms = Hashtbl.create 64;
+    by_node = Hashtbl.create 256;
+    telemetry;
+    clock;
+  }
+
+let emit t kind =
+  match t.telemetry with
+  | None -> ()
+  | Some s -> Telemetry.Sink.event s ~time:(t.clock ()) kind
+
+let note_tracked t =
+  match t.telemetry with
+  | None -> ()
+  | Some s ->
+      Telemetry.Metrics.set
+        (Telemetry.Metrics.gauge (Telemetry.Sink.metrics s) "domains_tracked")
+        (Hashtbl.length t.doms)
 
 let index_add t node pkg_id =
   let set =
@@ -58,14 +81,18 @@ let assign t (p : Package.t) ~host ~requester =
   done;
   let nodes = !nodes in
   Hashtbl.replace t.doms p.id { level = p.level; nodes; host };
-  List.iter (fun x -> index_add t x p.id) nodes
+  List.iter (fun x -> index_add t x p.id) nodes;
+  emit t (Telemetry.Event.Domain_assign { level = p.level; size });
+  note_tracked t
 
 let cancel t (p : Package.t) =
   match Hashtbl.find_opt t.doms p.id with
   | None -> ()
   | Some d ->
       List.iter (fun x -> index_remove t x p.id) d.nodes;
-      Hashtbl.remove t.doms p.id
+      Hashtbl.remove t.doms p.id;
+      emit t (Telemetry.Event.Domain_cancel { level = d.level });
+      note_tracked t
 
 let host_moved t (p : Package.t) new_host =
   match Hashtbl.find_opt t.doms p.id with
@@ -100,7 +127,15 @@ let on_add_internal t ~new_node ~child =
           in
           d.nodes <- insert d.nodes;
           index_add t new_node id;
-          drop_bottom_most_live t id d)
+          drop_bottom_most_live t id d;
+          emit t
+            (Telemetry.Event.Domain_resize { level = d.level; size = List.length d.nodes });
+          (match t.telemetry with
+          | None -> ()
+          | Some s ->
+              Telemetry.Metrics.inc
+                (Telemetry.Metrics.counter (Telemetry.Sink.metrics s)
+                   "domain_resizes_total")))
         ids
 
 let tracked t = Hashtbl.length t.doms

@@ -14,6 +14,11 @@ let pp_outcome ppf = function
 
 let equal_outcome (a : outcome) b = a = b
 
+let outcome_name = function
+  | Granted -> "granted"
+  | Rejected -> "rejected"
+  | Exhausted -> "exhausted"
+
 type reject_mode =
   | Wave  (** on exhaustion, place a reject package at every node *)
   | Report  (** on exhaustion, answer [Exhausted] and change nothing *)

@@ -20,6 +20,11 @@ type t = {
 
 let tree t = Net.tree t.net
 
+let emit t kind =
+  match Net.sink t.net with
+  | None -> ()
+  | Some s -> Telemetry.Sink.event s ~time:(Net.now t.net) kind
+
 let make_ctrl net n_i =
   let budget = max 2 (n_i / 2) in
   let u = max 4 (n_i + budget) in
@@ -46,6 +51,9 @@ let renumber t =
 let record_ratio t =
   let n = Dtree.size (tree t) in
   let max_id = Hashtbl.fold (fun _ i acc -> max i acc) t.ids 0 in
+  emit t
+    (Telemetry.Event.Estimate
+       { ctrl = "names"; node = Dtree.root (tree t); value = max_id; truth = n });
   let r = float_of_int max_id /. float_of_int n in
   if r > t.max_ratio then t.max_ratio <- r
 
@@ -122,6 +130,13 @@ and rotate t =
   (* whiteboard reset between terminating controllers *)
   t.overhead <- t.overhead + Dtree.size (tree t);
   t.epochs <- t.epochs + 1;
+  emit t
+    (Telemetry.Event.Epoch { ctrl = "names"; epoch = t.epochs; n = t.n_i });
+  (match Net.sink t.net with
+  | None -> ()
+  | Some s ->
+      Telemetry.Metrics.inc
+        (Telemetry.Metrics.counter (Telemetry.Sink.metrics s) "ctrl_epochs_total"));
   t.ctrl <- make_ctrl t.net t.n_i;
   t.rotating <- false;
   record_ratio t;

@@ -20,6 +20,11 @@ type t = {
 
 let tree t = Net.tree t.net
 
+let emit t kind =
+  match Net.sink t.net with
+  | None -> ()
+  | Some s -> Telemetry.Sink.event s ~time:(Net.now t.net) kind
+
 (* floor(alpha n), but at least 1 so that epochs always progress. For
    beta >= 2 this keeps the approximation exact at every size (growth to
    n + max(1, floor(alpha n)) <= beta n even at n = 1); for beta < 2 the
@@ -40,19 +45,25 @@ let create ?(beta = 2.0) ~net () =
   let n0 = Dtree.size (Net.tree net) in
   let alpha = 1.0 -. (1.0 /. beta) in
   let budget = max 1 (int_of_float (alpha *. float_of_int n0)) in
-  {
-    net;
-    beta;
-    ctrl = make_ctrl net n0 budget;
-    n_i = n0;
-    epochs = 0;
-    rotating = false;
-    outstanding = 0;
-    applying = 0;
-    changes = 0;
-    overhead = 0;
-    held = Queue.create ();
-  }
+  let t =
+    {
+      net;
+      beta;
+      ctrl = make_ctrl net n0 budget;
+      n_i = n0;
+      epochs = 0;
+      rotating = false;
+      outstanding = 0;
+      applying = 0;
+      changes = 0;
+      overhead = 0;
+      held = Queue.create ();
+    }
+  in
+  emit t
+    (Telemetry.Event.Estimate
+       { ctrl = "size-est"; node = Dtree.root (tree t); value = n0; truth = n0 });
+  t
 
 let rec apply_change t r =
   if Dist.can_apply t.ctrl r.op then begin
@@ -104,6 +115,15 @@ and rotate t =
   t.overhead <- t.overhead + (3 * n);
   t.n_i <- n;
   t.epochs <- t.epochs + 1;
+  emit t (Telemetry.Event.Epoch { ctrl = "size-est"; epoch = t.epochs; n });
+  emit t
+    (Telemetry.Event.Estimate
+       { ctrl = "size-est"; node = Dtree.root (tree t); value = n; truth = n });
+  (match Net.sink t.net with
+  | None -> ()
+  | Some s ->
+      Telemetry.Metrics.inc
+        (Telemetry.Metrics.counter (Telemetry.Sink.metrics s) "ctrl_epochs_total"));
   t.ctrl <- make_ctrl t.net n (alpha_budget t n);
   t.rotating <- false;
   let parked = Queue.create () in

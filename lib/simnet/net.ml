@@ -11,13 +11,14 @@ type t = {
   events : event Event_queue.t;
   forwards : (node, node) Hashtbl.t;  (* deleted node -> adopting parent *)
   by_tag : (string, int) Hashtbl.t;
+  sink : Telemetry.Sink.t option;
   mutable clock : int;
   mutable message_count : int;
   mutable bits_total : int;
   mutable bits_max : int;
 }
 
-let create ?(seed = 0x5EED) ?(max_delay = 8) ~tree () =
+let create ?(seed = 0x5EED) ?(max_delay = 8) ?sink ~tree () =
   if max_delay < 1 then invalid_arg "Net.create: max_delay must be >= 1";
   {
     the_tree = tree;
@@ -26,6 +27,7 @@ let create ?(seed = 0x5EED) ?(max_delay = 8) ~tree () =
     events = Event_queue.create ();
     forwards = Hashtbl.create 32;
     by_tag = Hashtbl.create 16;
+    sink;
     clock = 0;
     message_count = 0;
     bits_total = 0;
@@ -33,16 +35,32 @@ let create ?(seed = 0x5EED) ?(max_delay = 8) ~tree () =
   }
 
 let tree t = t.the_tree
+let sink t = t.sink
 
 let rec resolve t v =
   match Hashtbl.find_opt t.forwards v with None -> v | Some p -> resolve t p
 
 let send t ~src ~addr ~tag ~bits k =
-  ignore src;
   t.message_count <- t.message_count + 1;
   t.bits_total <- t.bits_total + bits;
   if bits > t.bits_max then t.bits_max <- bits;
   Hashtbl.replace t.by_tag tag (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_tag tag));
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+      let m = Telemetry.Sink.metrics s in
+      Telemetry.Metrics.inc (Telemetry.Metrics.counter m "net_messages_total");
+      Telemetry.Metrics.add (Telemetry.Metrics.counter m "net_bits_total") bits;
+      Telemetry.Metrics.inc
+        (Telemetry.Metrics.counter m ~labels:[ ("tag", tag) ] "net_tag_messages_total");
+      Telemetry.Metrics.observe (Telemetry.Metrics.histogram m "net_message_bits") bits;
+      let eaddr =
+        match addr with
+        | Exact v -> Telemetry.Event.Exact v
+        | Parent_of v -> Telemetry.Event.Parent_of v
+      in
+      Telemetry.Sink.event s ~time:t.clock
+        (Telemetry.Event.Send { src; addr = eaddr; tag; bits }));
   let delay = 1 + Rng.int t.rng t.max_delay in
   Event_queue.add t.events ~time:(t.clock + delay) (Deliver (addr, tag, k))
 
@@ -52,24 +70,38 @@ let schedule t ?(delay = 1) f =
 
 let node_deleted t v ~parent = Hashtbl.replace t.forwards v parent
 
-let deliver t addr k =
-  let dst =
+let deliver t addr tag k =
+  let target, forwarded =
     match addr with
-    | Exact v -> resolve t v
+    | Exact v ->
+        let r = resolve t v in
+        (r, r <> v)
     | Parent_of v -> (
-        let v = resolve t v in
-        match Dtree.parent t.the_tree v with
-        | Some p -> p
-        | None -> v (* the sender became the root: deliver locally *))
+        let r = resolve t v in
+        let forwarded = r <> v in
+        match Dtree.parent t.the_tree r with
+        | Some p -> (p, forwarded)
+        | None -> (r, forwarded) (* the sender became the root: deliver locally *))
   in
-  k dst
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+      Telemetry.Sink.event s ~time:t.clock
+        (Telemetry.Event.Deliver { dst = target; tag; forwarded });
+      if forwarded then
+        Telemetry.Metrics.inc
+          (Telemetry.Metrics.counter (Telemetry.Sink.metrics s)
+             "net_forwarded_deliveries_total"));
+  k target
 
 let step t =
   match Event_queue.pop t.events with
   | None -> false
   | Some (time, ev) ->
       t.clock <- max t.clock time;
-      (match ev with Deliver (addr, _tag, k) -> deliver t addr k | Action f -> f ());
+      (match ev with
+      | Deliver (addr, tag, k) -> deliver t addr tag k
+      | Action f -> f ());
       true
 
 let run t = while step t do () done
@@ -77,8 +109,8 @@ let now t = t.clock
 let messages t = t.message_count
 
 let messages_by_tag t =
-  List.sort compare (Hashtbl.fold (fun tag _ acc -> tag :: acc) t.by_tag [])
-  |> List.map (fun tag -> (tag, Hashtbl.find t.by_tag tag))
+  Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) t.by_tag []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let max_message_bits t = t.bits_max
 let total_bits t = t.bits_total

@@ -26,10 +26,21 @@ type addr =
 
 type t
 
-val create : ?seed:int -> ?max_delay:int -> tree:Dtree.t -> unit -> t
-(** [max_delay] defaults to 8. *)
+val create :
+  ?seed:int -> ?max_delay:int -> ?sink:Telemetry.Sink.t -> tree:Dtree.t -> unit -> t
+(** [max_delay] defaults to 8. When a telemetry [sink] is given, every send
+    is recorded as a [Send] event plus the [net_messages_total],
+    [net_bits_total], [net_tag_messages_total{tag}] counters and the
+    [net_message_bits] histogram, and every delivery as a [Deliver] event
+    (with [forwarded = true] when the deletion-forwarding chain redirected
+    it, also counted by [net_forwarded_deliveries_total]). Without a sink
+    the telemetry paths cost one branch and allocate nothing. *)
 
 val tree : t -> Dtree.t
+
+val sink : t -> Telemetry.Sink.t option
+(** The sink passed at creation; protocol layers riding this network
+    ({!Dist}, the estimators) record their own events through it. *)
 
 val send :
   t -> src:node -> addr:addr -> tag:string -> bits:int -> (node -> unit) -> unit
@@ -56,6 +67,11 @@ val resolve : t -> node -> node
 (** Follow the forwarding chain to the current live incarnation. *)
 
 val messages : t -> int
+
 val messages_by_tag : t -> (string * int) list
+(** Per-tag message counts, {b sorted by tag} (lexicographically). The order
+    is guaranteed — telemetry snapshots and test expectations may rely on
+    it; it never depends on hash-table iteration order. *)
+
 val max_message_bits : t -> int
 val total_bits : t -> int

@@ -1,0 +1,125 @@
+type addr = Exact of int | Parent_of of int
+
+type kind =
+  | Send of { src : int; addr : addr; tag : string; bits : int }
+  | Deliver of { dst : int; tag : string; forwarded : bool }
+  | Permit_span of {
+      ctrl : string;
+      node : int;
+      aid : int;
+      outcome : string;
+      submitted : int;
+      latency : int;
+    }
+  | Package_created of { ctrl : string; level : int; size : int }
+  | Package_split of { ctrl : string; level : int }
+  | Package_static of { ctrl : string; node : int; size : int }
+  | Package_join of { ctrl : string; from_ : int; to_ : int }
+  | Domain_assign of { level : int; size : int }
+  | Domain_resize of { level : int; size : int }
+  | Domain_cancel of { level : int }
+  | Reject_wave of { ctrl : string; node : int }
+  | Epoch of { ctrl : string; epoch : int; n : int }
+  | Estimate of { ctrl : string; node : int; value : int; truth : int }
+  | Custom of { name : string; value : int }
+
+type t = { time : int; kind : kind }
+
+let to_json { time; kind } =
+  let open Json in
+  let fields =
+    match kind with
+    | Send { src; addr; tag; bits } ->
+        let dst, dst_kind =
+          match addr with
+          | Exact v -> (v, "exact")
+          | Parent_of v -> (v, "parent_of")
+        in
+        [ ("ev", String "send"); ("src", Int src); ("dst", Int dst);
+          ("dst_kind", String dst_kind); ("tag", String tag); ("bits", Int bits) ]
+    | Deliver { dst; tag; forwarded } ->
+        [ ("ev", String "deliver"); ("dst", Int dst); ("tag", String tag);
+          ("forwarded", Bool forwarded) ]
+    | Permit_span { ctrl; node; aid; outcome; submitted; latency } ->
+        [ ("ev", String "permit_span"); ("ctrl", String ctrl); ("node", Int node);
+          ("aid", Int aid); ("outcome", String outcome); ("submitted", Int submitted);
+          ("latency", Int latency) ]
+    | Package_created { ctrl; level; size } ->
+        [ ("ev", String "pkg_created"); ("ctrl", String ctrl); ("level", Int level);
+          ("size", Int size) ]
+    | Package_split { ctrl; level } ->
+        [ ("ev", String "pkg_split"); ("ctrl", String ctrl); ("level", Int level) ]
+    | Package_static { ctrl; node; size } ->
+        [ ("ev", String "pkg_static"); ("ctrl", String ctrl); ("node", Int node);
+          ("size", Int size) ]
+    | Package_join { ctrl; from_; to_ } ->
+        [ ("ev", String "pkg_join"); ("ctrl", String ctrl); ("from", Int from_);
+          ("to", Int to_) ]
+    | Domain_assign { level; size } ->
+        [ ("ev", String "dom_assign"); ("level", Int level); ("size", Int size) ]
+    | Domain_resize { level; size } ->
+        [ ("ev", String "dom_resize"); ("level", Int level); ("size", Int size) ]
+    | Domain_cancel { level } -> [ ("ev", String "dom_cancel"); ("level", Int level) ]
+    | Reject_wave { ctrl; node } ->
+        [ ("ev", String "reject_wave"); ("ctrl", String ctrl); ("node", Int node) ]
+    | Epoch { ctrl; epoch; n } ->
+        [ ("ev", String "epoch"); ("ctrl", String ctrl); ("epoch", Int epoch);
+          ("n", Int n) ]
+    | Estimate { ctrl; node; value; truth } ->
+        [ ("ev", String "estimate"); ("ctrl", String ctrl); ("node", Int node);
+          ("value", Int value); ("truth", Int truth) ]
+    | Custom { name; value } ->
+        [ ("ev", String "custom"); ("name", String name); ("value", Int value) ]
+  in
+  Obj (("time", Int time) :: fields)
+
+let of_json j =
+  let open Json in
+  let time = to_int (member "time" j) in
+  let int k = to_int (member k j) in
+  let str k = to_str (member k j) in
+  let kind =
+    match str "ev" with
+    | "send" ->
+        let addr =
+          match str "dst_kind" with
+          | "exact" -> Exact (int "dst")
+          | "parent_of" -> Parent_of (int "dst")
+          | s -> failwith ("Event.of_json: bad dst_kind " ^ s)
+        in
+        Send { src = int "src"; addr; tag = str "tag"; bits = int "bits" }
+    | "deliver" ->
+        Deliver
+          { dst = int "dst"; tag = str "tag"; forwarded = to_bool (member "forwarded" j) }
+    | "permit_span" ->
+        Permit_span
+          {
+            ctrl = str "ctrl";
+            node = int "node";
+            aid = int "aid";
+            outcome = str "outcome";
+            submitted = int "submitted";
+            latency = int "latency";
+          }
+    | "pkg_created" ->
+        Package_created { ctrl = str "ctrl"; level = int "level"; size = int "size" }
+    | "pkg_split" -> Package_split { ctrl = str "ctrl"; level = int "level" }
+    | "pkg_static" ->
+        Package_static { ctrl = str "ctrl"; node = int "node"; size = int "size" }
+    | "pkg_join" -> Package_join { ctrl = str "ctrl"; from_ = int "from"; to_ = int "to" }
+    | "dom_assign" -> Domain_assign { level = int "level"; size = int "size" }
+    | "dom_resize" -> Domain_resize { level = int "level"; size = int "size" }
+    | "dom_cancel" -> Domain_cancel { level = int "level" }
+    | "reject_wave" -> Reject_wave { ctrl = str "ctrl"; node = int "node" }
+    | "epoch" -> Epoch { ctrl = str "ctrl"; epoch = int "epoch"; n = int "n" }
+    | "estimate" ->
+        Estimate
+          { ctrl = str "ctrl"; node = int "node"; value = int "value"; truth = int "truth" }
+    | "custom" -> Custom { name = str "name"; value = int "value" }
+    | s -> failwith ("Event.of_json: unknown event kind " ^ s)
+  in
+  { time; kind }
+
+let to_line e = Json.to_string (to_json e)
+let of_line s = of_json (Json.of_string s)
+let pp ppf e = Format.pp_print_string ppf (to_line e)

@@ -1,0 +1,58 @@
+(** Typed trace events, timestamped with the simulated clock.
+
+    One constructor per instrumented behaviour of the stack: network sends
+    and deliveries, permit-request spans (submit → grant/reject latency in
+    simulated time), package life-cycle by level, domain-tracker changes,
+    controller epoch rotations, and estimator updates. [Custom] carries
+    anything else without extending the type.
+
+    Events serialize to single-line JSON (see {!to_json} / {!of_json}) and
+    round-trip exactly; JSONL traces written by {!Sink.write_jsonl} are
+    re-readable with {!of_line}. *)
+
+type addr = Exact of int | Parent_of of int
+(** Mirror of [Net.addr] (the network library sits above this one). *)
+
+type kind =
+  | Send of { src : int; addr : addr; tag : string; bits : int }
+  | Deliver of { dst : int; tag : string; forwarded : bool }
+      (** [forwarded]: the addressed node was deleted in flight and the
+          deletion-forwarding chain redirected the message. *)
+  | Permit_span of {
+      ctrl : string;
+      node : int;
+      aid : int;  (** request/agent id; -1 when the controller has none *)
+      outcome : string;  (** "granted" | "rejected" | "exhausted" *)
+      submitted : int;  (** simulated submission time *)
+      latency : int;  (** grant/reject time minus [submitted] *)
+    }
+  | Package_created of { ctrl : string; level : int; size : int }
+  | Package_split of { ctrl : string; level : int }
+      (** a level-[level] package split into two level-[level-1] halves *)
+  | Package_static of { ctrl : string; node : int; size : int }
+  | Package_join of { ctrl : string; from_ : int; to_ : int }
+      (** a deleted node's store absorbed by its parent *)
+  | Domain_assign of { level : int; size : int }
+  | Domain_resize of { level : int; size : int }
+      (** after an internal insertion spliced a node into a domain path *)
+  | Domain_cancel of { level : int }
+  | Reject_wave of { ctrl : string; node : int }
+  | Epoch of { ctrl : string; epoch : int; n : int }
+  | Estimate of { ctrl : string; node : int; value : int; truth : int }
+      (** an estimate update: [value] vs the true quantity [truth] (network
+          size for size estimation, name-range ceiling for names) *)
+  | Custom of { name : string; value : int }
+
+type t = { time : int; kind : kind }
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** @raise Failure on a JSON value that no [kind] produces. *)
+
+val to_line : t -> string
+(** The event as one line of JSON (no trailing newline). *)
+
+val of_line : string -> t
+(** Inverse of {!to_line}. @raise Failure on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+(** Exporters over a metrics registry: Prometheus text format, an in-process
+    summary table, and a file helper. All output is deterministic (snapshot
+    order is sorted; see {!Metrics.snapshot}). *)
+
+val prometheus : Metrics.t -> string
+(** The Prometheus text exposition format: [# HELP] / [# TYPE] headers,
+    [name{label="v"} value] samples; histograms expand to cumulative
+    [_bucket{le="..."}] samples plus [_sum] and [_count]. *)
+
+val summary : Metrics.t -> string
+(** A human-readable aligned table (name, labels, value; histograms shown as
+    count/sum/p50-ish bucket) for end-of-run printing. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

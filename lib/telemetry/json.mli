@@ -1,0 +1,37 @@
+(** A minimal JSON value type with a compact printer and a strict parser.
+
+    The telemetry layer emits and re-reads its own traces (JSONL: one value
+    per line), so only the constructs it produces are supported: objects,
+    arrays, strings with the standard escapes, booleans, [null], and
+    numbers. Integers survive a round-trip exactly ([Int] is kept apart from
+    [Float]); anything with a fraction or exponent parses as [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line, no spaces) rendering; object fields keep their
+    given order. *)
+
+val of_string : string -> t
+(** Strict parse of exactly one JSON value (surrounding whitespace allowed).
+    @raise Failure on malformed input or trailing garbage. *)
+
+val member : string -> t -> t
+(** [member key (Obj ...)] is the field's value, or [Null] when absent.
+    @raise Failure when the value is not an object. *)
+
+val to_int : t -> int
+(** @raise Failure unless [Int]. *)
+
+val to_str : t -> string
+(** @raise Failure unless [String]. *)
+
+val to_bool : t -> bool
+(** @raise Failure unless [Bool]. *)

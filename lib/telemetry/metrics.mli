@@ -1,0 +1,76 @@
+(** Metrics registry: counters, gauges and log-scale histograms.
+
+    Metrics are identified by a name plus an optional label set (Prometheus
+    style: [net_messages_total{tag="agent-up"}]). Registering the same
+    name/labels twice returns the same underlying instrument, so call sites
+    can re-register cheaply instead of threading handles around.
+
+    Snapshots are deterministic: entries are sorted by (name, labels)
+    regardless of registration order, so tests and exported dumps never
+    depend on hash-table iteration order.
+
+    The hot-path operations ({!inc}, {!add}, {!set}, {!observe}) touch only
+    a preallocated record — no allocation, no hashing. *)
+
+type t
+(** A registry. *)
+
+type counter
+(** Monotonically increasing integer. *)
+
+type gauge
+(** Arbitrary integer level (package counts, storage, tree size). *)
+
+type histogram
+(** Distribution over non-negative integers in log2-scale buckets: one
+    bucket for [v <= 0], then one per power of two up to [2^62] (which
+    covers [max_int]), plus a cumulative count and sum. *)
+
+val create : unit -> t
+
+val counter : t -> ?labels:(string * string) list -> ?help:string -> string -> counter
+val gauge : t -> ?labels:(string * string) list -> ?help:string -> string -> gauge
+val histogram : t -> ?labels:(string * string) list -> ?help:string -> string -> histogram
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+
+val set : gauge -> int -> unit
+val max_gauge : gauge -> int -> unit
+(** [set] to the given value if it exceeds the current one (high-water
+    marks). *)
+
+val observe : histogram -> int -> unit
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+
+val bucket_of : int -> int
+(** The bucket index a value falls into: 0 for [v <= 0], else
+    [ceil_log2 v + 1] (so bucket [k >= 1] holds [2^(k-2) < v <= 2^(k-1)]).
+    Exposed for the bucketing tests. *)
+
+val bucket_count : int
+(** Number of buckets (64): index 0 plus one per exponent 0..62. *)
+
+val bucket_upper : int -> int
+(** Inclusive upper bound of a bucket: [bucket_upper 0 = 0],
+    [bucket_upper k = 2^(k-1)] for [k >= 1]. *)
+
+(** A deterministic, immutable view of one metric. *)
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { count : int; sum : int; buckets : (int * int) list }
+      (** [buckets] maps the inclusive upper bound of each non-empty bucket
+          to its (non-cumulative) occupancy, in increasing bound order. *)
+
+type entry = {
+  name : string;
+  labels : (string * string) list;  (** sorted by key *)
+  help : string option;
+  value : value;
+}
+
+val snapshot : t -> entry list
+(** All registered metrics, sorted by (name, labels). *)

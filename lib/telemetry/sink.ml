@@ -1,0 +1,50 @@
+type t = {
+  metrics : Metrics.t;
+  on_event : (Event.t -> unit) option;
+  mutable rev_events : Event.t list;
+  mutable count : int;
+}
+
+let create ?metrics ?on_event () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  { metrics; on_event; rev_events = []; count = 0 }
+
+let metrics t = t.metrics
+
+let event t ~time kind =
+  let e = { Event.time; kind } in
+  t.count <- t.count + 1;
+  match t.on_event with
+  | Some f -> f e
+  | None -> t.rev_events <- e :: t.rev_events
+
+let events t = List.rev t.rev_events
+let event_count t = t.count
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Event.to_line e);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let write_jsonl t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl t))
+
+let read_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go acc
+        | line -> go (Event.of_line line :: acc)
+      in
+      go [])

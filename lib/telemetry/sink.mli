@@ -1,0 +1,38 @@
+(** The telemetry sink: one metrics registry plus an in-memory event trace.
+
+    A sink is what the instrumented layers ([Net], the controllers, the
+    estimators) accept: when absent they skip all telemetry work (the no-sink
+    path stays allocation-free); when present every instrumented behaviour
+    increments metrics and appends one typed event.
+
+    Events accumulate in memory (reversed list, O(1) append) unless an
+    [on_event] callback is given, in which case they stream to the callback
+    {e instead} — for long runs that must not retain the trace. *)
+
+type t
+
+val create : ?metrics:Metrics.t -> ?on_event:(Event.t -> unit) -> unit -> t
+(** A fresh sink. [metrics] defaults to a new registry. With [on_event],
+    events are handed to the callback and not retained. *)
+
+val metrics : t -> Metrics.t
+
+val event : t -> time:int -> Event.kind -> unit
+(** Record one event. *)
+
+val events : t -> Event.t list
+(** The retained trace in chronological (append) order. Empty when streaming
+    through [on_event]. *)
+
+val event_count : t -> int
+(** Number of events recorded (retained or streamed). *)
+
+val to_jsonl : t -> string
+(** The retained trace as JSONL (one event per line, trailing newline). *)
+
+val write_jsonl : t -> string -> unit
+(** Write {!to_jsonl} to a file. *)
+
+val read_jsonl : string -> Event.t list
+(** Parse a JSONL trace file back into events (blank lines skipped).
+    @raise Failure on a malformed line. *)

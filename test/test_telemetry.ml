@@ -1,0 +1,261 @@
+(* The telemetry library: histogram bucketing, snapshot determinism, JSONL
+   round-trips and the end-to-end agreement between the metrics registry and
+   the network's legacy counters. *)
+
+module M = Telemetry.Metrics
+module E = Telemetry.Event
+
+(* ------------------------------------------------------------------ *)
+(* histogram bucketing                                                 *)
+
+let test_bucket_edges () =
+  Alcotest.(check int) "v = 0" 0 (M.bucket_of 0);
+  Alcotest.(check int) "v < 0" 0 (M.bucket_of (-5));
+  Alcotest.(check int) "v = 1" 1 (M.bucket_of 1);
+  Alcotest.(check int) "v = 2" 2 (M.bucket_of 2);
+  Alcotest.(check int) "v = 3" 3 (M.bucket_of 3);
+  Alcotest.(check int) "v = 4" 3 (M.bucket_of 4);
+  Alcotest.(check int) "v = 5" 4 (M.bucket_of 5);
+  Alcotest.(check bool) "max_int fits" true (M.bucket_of max_int < M.bucket_count);
+  (* every bucket's inclusive upper bound maps back into the bucket, and one
+     more spills into the next *)
+  for k = 1 to M.bucket_count - 2 do
+    let hi = M.bucket_upper k in
+    Alcotest.(check int) (Printf.sprintf "upper of bucket %d" k) k (M.bucket_of hi);
+    if hi < max_int then
+      Alcotest.(check int)
+        (Printf.sprintf "upper of bucket %d + 1 spills" k)
+        (k + 1) (M.bucket_of (hi + 1))
+  done
+
+let test_histogram_observe () =
+  let r = M.create () in
+  let h = M.histogram r "lat" in
+  List.iter (M.observe h) [ 0; 1; 1; 3; 1000; max_int ];
+  match M.snapshot r with
+  | [ { M.name = "lat"; value = M.Histogram { count; sum; buckets }; _ } ] ->
+      Alcotest.(check int) "count" 6 count;
+      Alcotest.(check int) "sum" (0 + 1 + 1 + 3 + 1000 + max_int) sum;
+      (* 0 -> bucket 0 (upper 0); 1,1 -> bucket 1 (upper 1); 3 -> bucket 3
+         (upper 4); 1000 -> bucket 11 (upper 1024); max_int -> last bucket *)
+      Alcotest.(check (list (pair int int)))
+        "occupancy by upper bound"
+        [ (0, 1); (1, 2); (4, 1); (1024, 1); (M.bucket_upper (M.bucket_count - 1), 1) ]
+        buckets
+  | _ -> Alcotest.fail "expected exactly one histogram entry"
+
+(* ------------------------------------------------------------------ *)
+(* snapshot determinism                                                *)
+
+let test_snapshot_determinism () =
+  (* two registries fed the same instruments in different orders agree *)
+  let feed order =
+    let r = M.create () in
+    List.iter
+      (fun i ->
+        match i with
+        | `C -> M.inc (M.counter r "z_count")
+        | `G -> M.set (M.gauge r "a_level") 7
+        | `L1 -> M.inc (M.counter r ~labels:[ ("tag", "up") ] "msgs")
+        | `L2 -> M.inc (M.counter r ~labels:[ ("tag", "down") ] "msgs"))
+      order;
+    M.snapshot r
+  in
+  let s1 = feed [ `C; `G; `L1; `L2 ] in
+  let s2 = feed [ `L2; `L1; `G; `C ] in
+  Alcotest.(check int) "same length" (List.length s1) (List.length s2);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "name order" a.M.name b.M.name;
+      Alcotest.(check (list (pair string string))) "labels" a.M.labels b.M.labels)
+    s1 s2;
+  (* sorted by (name, labels) *)
+  let keys = List.map (fun e -> (e.M.name, e.M.labels)) s1 in
+  Alcotest.(check bool) "sorted" true (keys = List.sort compare keys)
+
+let test_reregistration_shares_instrument () =
+  let r = M.create () in
+  M.inc (M.counter r "hits");
+  M.add (M.counter r "hits") 2;
+  Alcotest.(check int) "one shared counter" 3 (M.counter_value (M.counter r "hits"));
+  M.max_gauge (M.gauge r "hw") 5;
+  M.max_gauge (M.gauge r "hw") 3;
+  Alcotest.(check int) "max_gauge keeps high water" 5 (M.gauge_value (M.gauge r "hw"))
+
+(* ------------------------------------------------------------------ *)
+(* event JSONL round-trip                                              *)
+
+let sample_events =
+  [
+    { E.time = 0; kind = E.Send { src = 1; addr = E.Exact 2; tag = "up"; bits = 17 } };
+    { E.time = 3; kind = E.Send { src = 2; addr = E.Parent_of 2; tag = "dn"; bits = 0 } };
+    { E.time = 4; kind = E.Deliver { dst = 0; tag = "up"; forwarded = true } };
+    {
+      E.time = 9;
+      kind =
+        E.Permit_span
+          {
+            ctrl = "main";
+            node = 5;
+            aid = 12;
+            outcome = "granted";
+            submitted = 2;
+            latency = 7;
+          };
+    };
+    { E.time = 9; kind = E.Package_created { ctrl = "main"; level = 3; size = 8 } };
+    { E.time = 10; kind = E.Package_split { ctrl = "main"; level = 3 } };
+    { E.time = 10; kind = E.Package_static { ctrl = "main"; node = 5; size = 1 } };
+    { E.time = 11; kind = E.Package_join { ctrl = "main"; from_ = 5; to_ = 4 } };
+    { E.time = 12; kind = E.Domain_assign { level = 2; size = 6 } };
+    { E.time = 13; kind = E.Domain_resize { level = 2; size = 7 } };
+    { E.time = 14; kind = E.Domain_cancel { level = 2 } };
+    { E.time = 15; kind = E.Reject_wave { ctrl = "main"; node = 0 } };
+    { E.time = 16; kind = E.Epoch { ctrl = "adaptive"; epoch = 2; n = 40 } };
+    {
+      E.time = 17;
+      kind = E.Estimate { ctrl = "size-est"; node = 0; value = 64; truth = 57 };
+    };
+    { E.time = max_int; kind = E.Custom { name = "quote\"and\\slash"; value = -3 } };
+  ]
+
+let test_event_roundtrip () =
+  List.iter
+    (fun e ->
+      let e' = E.of_line (E.to_line e) in
+      if e' <> e then
+        Alcotest.failf "round-trip changed %s into %s" (E.to_line e) (E.to_line e'))
+    sample_events
+
+let test_jsonl_file_roundtrip () =
+  let sink = Telemetry.Sink.create () in
+  List.iter (fun e -> Telemetry.Sink.event sink ~time:e.E.time e.E.kind) sample_events;
+  let path = Filename.temp_file "telemetry" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Telemetry.Sink.write_jsonl sink path;
+      let back = Telemetry.Sink.read_jsonl path in
+      Alcotest.(check int) "event count" (List.length sample_events) (List.length back);
+      if back <> sample_events then Alcotest.fail "file round-trip changed the trace")
+
+let test_streaming_sink_retains_nothing () =
+  let seen = ref 0 in
+  let sink = Telemetry.Sink.create ~on_event:(fun _ -> incr seen) () in
+  Telemetry.Sink.event sink ~time:1 (E.Custom { name = "x"; value = 1 });
+  Telemetry.Sink.event sink ~time:2 (E.Custom { name = "y"; value = 2 });
+  Alcotest.(check int) "streamed" 2 !seen;
+  Alcotest.(check int) "counted" 2 (Telemetry.Sink.event_count sink);
+  Alcotest.(check int) "not retained" 0 (List.length (Telemetry.Sink.events sink))
+
+(* ------------------------------------------------------------------ *)
+(* end to end: a distributed run under a sink                          *)
+
+let find_counter snapshot name =
+  List.fold_left
+    (fun acc e ->
+      match e.M.value with
+      | M.Counter c when e.M.name = name -> acc + c
+      | _ -> acc)
+    0 snapshot
+
+let test_dist_run_matches_net_counters () =
+  let sink = Telemetry.Sink.create () in
+  let rng = Rng.create ~seed:11 in
+  let tree = Workload.Shape.build rng (Workload.Shape.Random 64) in
+  let net = Net.create ~seed:12 ~sink ~tree () in
+  let d =
+    Controller.Dist.create
+      ~params:(Controller.Params.make ~m:128 ~w:16 ~u:(64 + 200))
+      ~net ()
+  in
+  let wl = Workload.make ~seed:13 ~mix:Workload.Mix.churn () in
+  let outstanding = ref 0 in
+  for _ = 1 to 200 do
+    (match Workload.next_op_avoiding wl tree ~forbidden:(fun _ -> false) with
+    | Some op ->
+        incr outstanding;
+        Controller.Dist.submit d op ~k:(fun _ -> decr outstanding)
+    | None -> ());
+    Net.run net
+  done;
+  Alcotest.(check int) "drained" 0 !outstanding;
+  let snap = M.snapshot (Telemetry.Sink.metrics sink) in
+  Alcotest.(check int) "net_messages_total = Net.messages" (Net.messages net)
+    (find_counter snap "net_messages_total");
+  Alcotest.(check int) "net_bits_total = Net.total_bits" (Net.total_bits net)
+    (find_counter snap "net_bits_total");
+  Alcotest.(check int) "per-tag counters sum to the total" (Net.messages net)
+    (find_counter snap "net_tag_messages_total");
+  Alcotest.(check int) "legacy tag table agrees" (Net.messages net)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (Net.messages_by_tag net));
+  (* one Send event per message *)
+  let sends =
+    List.length
+      (List.filter
+         (fun e -> match e.E.kind with E.Send _ -> true | _ -> false)
+         (Telemetry.Sink.events sink))
+  in
+  Alcotest.(check int) "one Send event per message" (Net.messages net) sends;
+  (* the per-request spans cover every answered request *)
+  let spans =
+    List.length
+      (List.filter
+         (fun e -> match e.E.kind with E.Permit_span _ -> true | _ -> false)
+         (Telemetry.Sink.events sink))
+  in
+  Alcotest.(check int) "one span per answer"
+    (Controller.Dist.granted d + Controller.Dist.rejected d)
+    spans
+
+let test_forwarded_delivery_recorded () =
+  (* a message to a node deleted in flight is recorded as forwarded *)
+  let sink = Telemetry.Sink.create () in
+  let tree = Dtree.create () in
+  let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+  let b = Dtree.add_leaf tree ~parent:a in
+  let net = Net.create ~seed:2 ~sink ~tree () in
+  Net.send net ~src:b ~addr:(Net.Exact a) ~tag:"up" ~bits:8 (fun _ -> ());
+  Dtree.remove_internal tree a;
+  Net.node_deleted net a ~parent:(Dtree.root tree);
+  Net.run net;
+  let forwarded =
+    List.filter
+      (fun e ->
+        match e.E.kind with E.Deliver { forwarded; _ } -> forwarded | _ -> false)
+      (Telemetry.Sink.events sink)
+  in
+  Alcotest.(check int) "one forwarded delivery" 1 (List.length forwarded);
+  Alcotest.(check int) "counter agrees" 1
+    (find_counter
+       (M.snapshot (Telemetry.Sink.metrics sink))
+       "net_forwarded_deliveries_total")
+
+let test_messages_by_tag_sorted () =
+  let tree = Dtree.create () in
+  let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+  let net = Net.create ~seed:5 ~tree () in
+  List.iter
+    (fun tag -> Net.send net ~src:a ~addr:(Net.Parent_of a) ~tag ~bits:1 (fun _ -> ()))
+    [ "zeta"; "alpha"; "mid"; "alpha" ];
+  Net.run net;
+  Alcotest.(check (list (pair string int)))
+    "sorted by tag" [ ("alpha", 2); ("mid", 1); ("zeta", 1) ]
+    (Net.messages_by_tag net)
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "histogram bucket edges" `Quick test_bucket_edges;
+      Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+      Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
+      Alcotest.test_case "re-registration shares" `Quick test_reregistration_shares_instrument;
+      Alcotest.test_case "event json round-trip" `Quick test_event_roundtrip;
+      Alcotest.test_case "jsonl file round-trip" `Quick test_jsonl_file_roundtrip;
+      Alcotest.test_case "streaming sink" `Quick test_streaming_sink_retains_nothing;
+      Alcotest.test_case "dist run matches net counters" `Quick
+        test_dist_run_matches_net_counters;
+      Alcotest.test_case "forwarded delivery recorded" `Quick
+        test_forwarded_delivery_recorded;
+      Alcotest.test_case "messages_by_tag sorted" `Quick test_messages_by_tag_sorted;
+    ] )

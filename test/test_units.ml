@@ -129,7 +129,7 @@ let test_domain_tracker_directly () =
   let rng = Rng.create ~seed:14 in
   let tree = Workload.Shape.build rng (Workload.Shape.Path 600) in
   let params = Params.make ~m:100_000 ~w:1200 ~u:1200 in
-  let tracker = Domain_tracker.create ~params ~tree in
+  let tracker = Domain_tracker.create ~params ~tree () in
   let alloc = Package.allocator () in
   let leaf = List.hd (Dtree.leaves tree) in
   let p = Package.create alloc ~params ~level:1 in
