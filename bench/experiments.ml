@@ -35,6 +35,12 @@ module Results = struct
     r
 end
 
+(* Delivery discipline for every network-backed experiment; bench/main.ml
+   sets this from --scheduler. [None] leaves the choice to
+   {!Scheduler.default} (fifo_link, or the SIMNET_SCHEDULER override). *)
+let scheduler : Scheduler.discipline option ref = ref None
+let effective_scheduler () = Option.value ~default:(Scheduler.default ()) !scheduler
+
 let hr () = Format.printf "%s@." (String.make 78 '-')
 
 let section id title =
@@ -274,7 +280,7 @@ let e5 () =
     (fun n0 ->
       let m = n0 and w = max 1 (n0 / 8) in
       let stats =
-        Dist_harness.run ~seed:(80 + n0) ~concurrency:8
+        Dist_harness.run ~seed:(80 + n0) ~concurrency:8 ?scheduler:!scheduler
           ~shape:(Workload.Shape.Random n0) ~mix:Workload.Mix.churn ~m ~w
           ~requests:(2 * n0) ()
       in
@@ -297,7 +303,7 @@ let e5 () =
 let run_size_estimation ~seed ~n0 ~beta ~changes ~mix =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
-  let net = Net.create ~seed:(seed + 1) ~tree () in
+  let net = Net.create ~seed:(seed + 1) ?scheduler:!scheduler ~tree () in
   let se = Estimator.Size_estimation.create ~beta ~net () in
   let wl = Workload.make ~seed:(seed + 2) ~mix () in
   let reserved = Hashtbl.create 16 in
@@ -366,7 +372,7 @@ let e7 () =
       let changes = 2 * n0 in
       let rng = Rng.create ~seed:(100 + n0) in
       let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
-      let net = Net.create ~seed:(101 + n0) ~tree () in
+      let net = Net.create ~seed:(101 + n0) ?scheduler:!scheduler ~tree () in
       let na = Estimator.Name_assignment.create ~net () in
       let wl = Workload.make ~seed:102 ~mix:Workload.Mix.churn () in
       let reserved = Hashtbl.create 16 in
@@ -473,7 +479,7 @@ let e10 () =
       let m = n0 and w = max 1 (n0 / 8) in
       let requests = n0 in
       let stats =
-        Dist_harness.run ~seed:(130 + n0) ~concurrency:8 ~shape
+        Dist_harness.run ~seed:(130 + n0) ~concurrency:8 ?scheduler:!scheduler ~shape
           ~mix:Workload.Mix.churn ~m ~w ~requests ()
       in
       let nmax = n0 + requests in
@@ -619,7 +625,8 @@ let e13 () =
   List.iter
     (fun conc ->
       let stats =
-        Dist_harness.run ~seed:181 ~concurrency:conc ~shape:(Workload.Shape.Random 256)
+        Dist_harness.run ~seed:181 ~concurrency:conc ?scheduler:!scheduler
+          ~shape:(Workload.Shape.Random 256)
           ~mix:Workload.Mix.churn ~m:512 ~w:64 ~requests:400 ()
       in
       Results.note ~messages:stats.Dist_harness.messages

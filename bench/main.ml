@@ -6,7 +6,9 @@
      dune exec bench/main.exe -- e3 e5   # selected experiments
      dune exec bench/main.exe -- micro   # micro-benchmarks only
      dune exec bench/main.exe -- --json BENCH_e.json e1 e3
-                                         # also write per-experiment tallies *)
+                                         # also write per-experiment tallies
+     dune exec bench/main.exe -- --scheduler adversarial_lifo e5
+                                         # pick the delivery discipline *)
 
 open Bechamel
 open Toolkit
@@ -98,6 +100,20 @@ let () =
     in
     strip [] args
   in
+  let args =
+    let rec strip acc = function
+      | "--scheduler" :: name :: rest ->
+          (match Scheduler.of_string name with
+          | Ok d -> Experiments.scheduler := Some d
+          | Error e ->
+              Format.printf "%s@." e;
+              exit 2);
+          List.rev_append acc rest
+      | a :: rest -> strip (a :: acc) rest
+      | [] -> List.rev acc
+    in
+    strip [] args
+  in
   let results = ref [] in
   let wanted = if args = [] then List.map fst Experiments.all @ [ "micro" ] else args in
   List.iter
@@ -119,6 +135,7 @@ let () =
   | None -> ()
   | Some path ->
       let open Telemetry.Json in
+      let discipline = Scheduler.name (Experiments.effective_scheduler ()) in
       let entry (name, t, wall) =
         ( name,
           Obj
@@ -127,6 +144,7 @@ let () =
               ("moves", Int t.Experiments.Results.moves);
               ("bits", Int t.Experiments.Results.bits);
               ("rows", Int t.Experiments.Results.rows);
+              ("scheduler", String discipline);
               ("wall_s", Float wall);
             ] )
       in

@@ -43,6 +43,18 @@ let shape_arg =
 let mix_arg =
   Arg.(value & opt string "churn" & info [ "mix" ] ~doc:"grow|churn|shrink|events")
 
+let scheduler_conv =
+  let parse s =
+    match Scheduler.of_string s with Ok d -> Ok d | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Scheduler.name d))
+
+let scheduler_arg =
+  Arg.(value & opt (some scheduler_conv) None
+       & info [ "scheduler" ] ~docv:"NAME"
+           ~doc:"message delivery discipline: fifo_link|random_delay|adversarial_lifo[:W]|bursty[:P] \
+                 (default fifo_link, overridable via $(b,SIMNET_SCHEDULER))")
+
 let n0_arg = Arg.(value & opt int 128 & info [ "n0" ] ~doc:"initial network size")
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
 let budget_arg = Arg.(value & opt int 512 & info [ "budget"; "m" ] ~doc:"permit budget M")
@@ -101,7 +113,8 @@ let run_centralized request moves tree ~seed ~mix ~requests =
   Format.printf "move complexity  %s@." (Stats.pretty_int (moves ()));
   Format.printf "final size       %s@." (Stats.pretty_int (Dtree.size tree))
 
-let run_main verbose kind_s shape_s mix_s n0 requests m w seed metrics_out trace_out =
+let run_main verbose kind_s shape_s mix_s n0 requests m w seed scheduler metrics_out
+    trace_out =
   setup_logs verbose;
   let mix = mix_of mix_s in
   let rng = Rng.create ~seed in
@@ -144,11 +157,12 @@ let run_main verbose kind_s shape_s mix_s n0 requests m w seed metrics_out trace
         tree ~seed ~mix ~requests
   | "dist" ->
       let stats =
-        Dist_harness.run ~seed ?sink ~shape:(shape_of ~n:n0 shape_s) ~mix ~m ~w ~requests ()
+        Dist_harness.run ~seed ?scheduler ?sink ~shape:(shape_of ~n:n0 shape_s) ~mix ~m
+          ~w ~requests ()
       in
       Format.printf "%a@." Dist_harness.pp_stats stats
   | "dist-adaptive" ->
-      let net = Net.create ~seed:(seed + 1) ?sink ~tree () in
+      let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
       let da = Dist_adaptive.create ~m ~w ~net () in
       let g, r, _ =
         Dist_harness.run_on ~seed ~net ~mix ~requests ~submit:(Dist_adaptive.submit da) ()
@@ -171,7 +185,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"run an (M,W)-controller on a generated scenario")
     Term.(const run_main $ verbose_arg $ kind $ shape_arg $ mix_arg $ n0_arg $ requests
-          $ budget_arg $ waste_arg $ seed_arg $ metrics_out_arg $ trace_out_arg)
+          $ budget_arg $ waste_arg $ seed_arg $ scheduler_arg $ metrics_out_arg
+          $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* size-est and names: the Section 5 protocols                         *)
@@ -200,11 +215,11 @@ let drive_estimator ~seed ~mix ~changes ~net ~tree ~submit =
   done;
   Net.run net
 
-let size_est_main shape_s mix_s n0 changes beta seed metrics_out trace_out =
+let size_est_main shape_s mix_s n0 changes beta seed scheduler metrics_out trace_out =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
   let sink = make_sink metrics_out trace_out in
-  let net = Net.create ~seed:(seed + 1) ?sink ~tree () in
+  let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
   let se = Estimator.Size_estimation.create ~beta ~net () in
   drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
     ~submit:(Estimator.Size_estimation.submit se);
@@ -225,13 +240,13 @@ let size_est_cmd =
   Cmd.v
     (Cmd.info "size-est" ~doc:"run the Theorem 5.1 size-estimation protocol")
     Term.(const size_est_main $ shape_arg $ mix_arg $ n0_arg $ changes $ beta $ seed_arg
-          $ metrics_out_arg $ trace_out_arg)
+          $ scheduler_arg $ metrics_out_arg $ trace_out_arg)
 
-let names_main shape_s mix_s n0 changes seed metrics_out trace_out =
+let names_main shape_s mix_s n0 changes seed scheduler metrics_out trace_out =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
   let sink = make_sink metrics_out trace_out in
-  let net = Net.create ~seed:(seed + 1) ?sink ~tree () in
+  let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
   let na = Estimator.Name_assignment.create ~net () in
   drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
     ~submit:(Estimator.Name_assignment.submit na);
@@ -252,7 +267,7 @@ let names_cmd =
   Cmd.v
     (Cmd.info "names" ~doc:"run the Theorem 5.2 name-assignment protocol")
     Term.(const names_main $ shape_arg $ mix_arg $ n0_arg $ changes $ seed_arg
-          $ metrics_out_arg $ trace_out_arg)
+          $ scheduler_arg $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: capture and replay scenarios                                 *)

@@ -9,13 +9,16 @@ type stats = {
   sim_time : int;
   final_size : int;
   max_wb_bits : int;
+  discipline : string;
+  reorders : int;
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "submitted=%d granted=%d rejected=%d unanswered=%d messages=%d max_bits=%d time=%d n=%d"
+    "submitted=%d granted=%d rejected=%d unanswered=%d messages=%d max_bits=%d time=%d n=%d \
+     scheduler=%s reorders=%d"
     s.submitted s.granted s.rejected s.unanswered s.messages s.max_message_bits
-    s.sim_time s.final_size
+    s.sim_time s.final_size s.discipline s.reorders
 
 let run_on ?(seed = 0xD1CE) ?(concurrency = 8) ~net ~mix ~requests ~submit () =
   let tree = Net.tree net in
@@ -58,12 +61,12 @@ let run_on ?(seed = 0xD1CE) ?(concurrency = 8) ~net ~mix ~requests ~submit () =
   Net.run net;
   (!granted, !rejected, !unanswered)
 
-let run ?(seed = 0xD1CE) ?(max_delay = 8) ?(concurrency = 8) ?config ?sink
+let run ?(seed = 0xD1CE) ?(max_delay = 8) ?(concurrency = 8) ?config ?scheduler ?sink
     ~shape ~mix ~m ~w ~requests () =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng shape in
   let u = Dtree.size tree + requests in
-  let net = Net.create ~seed:(seed + 1) ~max_delay ?sink ~tree () in
+  let net = Net.create ~seed:(seed + 1) ~max_delay ?scheduler ?sink ~tree () in
   let params = Params.make ~m ~w:(max 1 w) ~u in
   let d = Dist.create ?config ~params ~net () in
   let granted, rejected, unanswered =
@@ -80,4 +83,6 @@ let run ?(seed = 0xD1CE) ?(max_delay = 8) ?(concurrency = 8) ?config ?sink
     sim_time = Net.now net;
     final_size = Dtree.size tree;
     max_wb_bits = Dist.max_wb_bits d;
+    discipline = Scheduler.name (Net.scheduler net);
+    reorders = Net.reorders net;
   }

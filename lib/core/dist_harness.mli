@@ -17,6 +17,8 @@ type stats = {
   sim_time : int;
   final_size : int;
   max_wb_bits : int;
+  discipline : string;  (** {!Scheduler.name} of the delivery discipline *)
+  reorders : int;  (** {!Net.reorders} at the end of the run *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -26,6 +28,7 @@ val run :
   ?max_delay:int ->
   ?concurrency:int ->
   ?config:Dist.config ->
+  ?scheduler:Scheduler.discipline ->
   ?sink:Telemetry.Sink.t ->
   shape:Workload.Shape.t ->
   mix:Workload.Mix.t ->
@@ -36,8 +39,9 @@ val run :
   stats
 (** Build the tree, run a fixed-[U] distributed [(M,W)]-controller
     ([U = n0 + requests]) against [requests] workload requests with the given
-    concurrency (default 8), drain the network, and report. [sink] is passed
-    to {!Net.create}, so the run records full telemetry. *)
+    concurrency (default 8), drain the network, and report. [scheduler] and
+    [sink] are passed to {!Net.create}, so the run can pick its delivery
+    discipline and records full telemetry. *)
 
 val run_on :
   ?seed:int ->

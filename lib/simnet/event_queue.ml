@@ -1,33 +1,39 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+type 'a entry = { time : int; prio : int; seq : int; payload : 'a }
 
+(* Slots hold [Some entry]; empty slots are [None] so popped entries (and the
+   closures they capture) are dropped as soon as they leave the heap. The
+   [Some] box is allocated once per [add] and merely moved by sifts. *)
 type 'a t = {
-  mutable heap : 'a entry array;  (* heap.(0) unused sentinel slot semantics: we use 0-based *)
+  mutable heap : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
 }
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before a b =
+  a.time < b.time
+  || (a.time = b.time && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
+
+let get t i = match t.heap.(i) with Some e -> e | None -> assert false
 
 let grow t =
   let cap = max 16 (2 * Array.length t.heap) in
   if cap > Array.length t.heap then begin
-    let bigger = Array.make cap t.heap.(0) in
+    let bigger = Array.make cap None in
     Array.blit t.heap 0 bigger 0 t.size;
     t.heap <- bigger
   end
 
-let add t ~time payload =
-  let e = { time; seq = t.next_seq; payload } in
+let add t ~time ?(priority = 0) payload =
+  let e = { time; prio = priority; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.heap then
-    if t.size = 0 then t.heap <- Array.make 16 e else grow t;
-  t.heap.(t.size) <- e;
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- Some e;
   t.size <- t.size + 1;
   (* sift up *)
   let i = ref (t.size - 1) in
-  while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
+  while !i > 0 && before (get t !i) (get t ((!i - 1) / 2)) do
     let p = (!i - 1) / 2 in
     let tmp = t.heap.(p) in
     t.heap.(p) <- t.heap.(!i);
@@ -38,18 +44,19 @@ let add t ~time payload =
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- None;
     if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
       (* sift down *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-        if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if l < t.size && before (get t l) (get t !smallest) then smallest := l;
+        if r < t.size && before (get t r) (get t !smallest) then smallest := r;
         if !smallest = !i then continue := false
         else begin
           let tmp = t.heap.(!smallest) in
@@ -62,6 +69,6 @@ let pop t =
     Some (top.time, top.payload)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.size = 0 then None else Some (get t 0).time
 let is_empty t = t.size = 0
 let size t = t.size

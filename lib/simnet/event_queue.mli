@@ -1,10 +1,18 @@
-(** Binary min-heap of timed events. Ties are broken by insertion order, so
-    executions are deterministic given the delay RNG. *)
+(** Binary min-heap of timed events. Entries order by time, then [priority]
+    (default 0, lower first), then insertion order, so executions are
+    deterministic given the delay RNG. The priority tier is what lets a
+    scheduler release same-time events in an order other than FIFO (the
+    adversarial-LIFO discipline passes strictly decreasing priorities).
+
+    Popped entries are cleared from the backing array immediately, so the
+    queue never retains a reference to a delivered event's payload (the
+    closures captured by network messages can be collected as soon as they
+    run). *)
 
 type 'a t
 
 val create : unit -> 'a t
-val add : 'a t -> time:int -> 'a -> unit
+val add : 'a t -> time:int -> ?priority:int -> 'a -> unit
 val pop : 'a t -> (int * 'a) option
 val peek_time : 'a t -> int option
 val is_empty : 'a t -> bool

@@ -1,0 +1,30 @@
+type run = {
+  discipline : Scheduler.discipline;
+  seed : int;
+  violations : string list;
+  reorders : int;
+}
+
+let sweep ?(disciplines = Scheduler.defaults) ~seeds scenario =
+  List.concat_map
+    (fun discipline ->
+      List.map
+        (fun seed ->
+          let violations, reorders =
+            try scenario ~discipline ~seed
+            with exn ->
+              ([ Printf.sprintf "exception: %s" (Printexc.to_string exn) ], 0)
+          in
+          { discipline; seed; violations; reorders })
+        seeds)
+    disciplines
+
+let failures runs = List.filter (fun r -> r.violations <> []) runs
+let reorder_free runs = List.for_all (fun r -> r.reorders = 0) runs
+
+let pp_run ppf r =
+  Format.fprintf ppf "[%s seed=%d reorders=%d]%s" (Scheduler.name r.discipline)
+    r.seed r.reorders
+    (match r.violations with
+    | [] -> " ok"
+    | vs -> " " ^ String.concat "; " vs)

@@ -2,43 +2,93 @@ type node = Dtree.node
 
 type addr = Exact of node | Parent_of of node
 
-type event = Deliver of addr * string * (node -> unit) | Action of (unit -> unit)
+type message = {
+  src : node;
+  maddr : addr;
+  tag : string;
+  link : Scheduler.link;  (* frozen at send time; reorder accounting key *)
+  sseq : int;  (* global send sequence number *)
+  k : node -> unit;
+}
+
+type event = Deliver of message | Action of (unit -> unit)
 
 type t = {
   the_tree : Dtree.t;
   rng : Rng.t;
   max_delay : int;
+  sched : Scheduler.t;
   events : event Event_queue.t;
   forwards : (node, node) Hashtbl.t;  (* deleted node -> adopting parent *)
   by_tag : (string, int) Hashtbl.t;
+  link_last : (Scheduler.link, int) Hashtbl.t;  (* last delivered sseq *)
+  link_reorders : (Scheduler.link, int) Hashtbl.t;
   sink : Telemetry.Sink.t option;
   mutable clock : int;
+  mutable send_seq : int;
   mutable message_count : int;
+  mutable reorder_count : int;
   mutable bits_total : int;
   mutable bits_max : int;
 }
 
-let create ?(seed = 0x5EED) ?(max_delay = 8) ?sink ~tree () =
+let create ?(seed = 0x5EED) ?(max_delay = 8) ?scheduler ?sink ~tree () =
   if max_delay < 1 then invalid_arg "Net.create: max_delay must be >= 1";
+  let discipline =
+    match scheduler with Some d -> d | None -> Scheduler.default ()
+  in
+  (match sink with
+  | None -> ()
+  | Some s ->
+      let m = Telemetry.Sink.metrics s in
+      Telemetry.Metrics.set
+        (Telemetry.Metrics.gauge m
+           ~labels:[ ("discipline", Scheduler.name discipline) ]
+           "net_scheduler_info")
+        1;
+      Telemetry.Sink.event s ~time:0
+        (Telemetry.Event.Sched { discipline = Scheduler.name discipline }));
   {
     the_tree = tree;
     rng = Rng.create ~seed;
     max_delay;
+    sched = Scheduler.create discipline;
     events = Event_queue.create ();
     forwards = Hashtbl.create 32;
     by_tag = Hashtbl.create 16;
+    link_last = Hashtbl.create 64;
+    link_reorders = Hashtbl.create 8;
     sink;
     clock = 0;
+    send_seq = 0;
     message_count = 0;
+    reorder_count = 0;
     bits_total = 0;
     bits_max = 0;
   }
 
 let tree t = t.the_tree
 let sink t = t.sink
+let scheduler t = Scheduler.discipline t.sched
 
+(* Path compression: every node visited on the forwarding chain is pointed
+   directly at the final adopter, so repeated resolutions stay O(1) even
+   after long internal-deletion sequences. *)
 let rec resolve t v =
-  match Hashtbl.find_opt t.forwards v with None -> v | Some p -> resolve t p
+  match Hashtbl.find_opt t.forwards v with
+  | None -> v
+  | Some p ->
+      let r = resolve t p in
+      if r <> p then Hashtbl.replace t.forwards v r;
+      r
+
+let forward_hops t v =
+  let rec count v n =
+    match Hashtbl.find_opt t.forwards v with
+    | None -> n
+    | Some p -> count p (n + 1)
+  in
+  count v 0
 
 let send t ~src ~addr ~tag ~bits k =
   t.message_count <- t.message_count + 1;
@@ -61,18 +111,30 @@ let send t ~src ~addr ~tag ~bits k =
       in
       Telemetry.Sink.event s ~time:t.clock
         (Telemetry.Event.Send { src; addr = eaddr; tag; bits }));
-  let delay = 1 + Rng.int t.rng t.max_delay in
-  Event_queue.add t.events ~time:(t.clock + delay) (Deliver (addr, tag, k))
+  let link =
+    match addr with
+    | Exact d -> Scheduler.Direct (src, resolve t d)
+    | Parent_of v -> Scheduler.Up (resolve t v)
+  in
+  let sseq = t.send_seq in
+  t.send_seq <- sseq + 1;
+  let time, priority =
+    Scheduler.decide t.sched ~rng:t.rng ~max_delay:t.max_delay ~now:t.clock ~link
+  in
+  Event_queue.add t.events ~time ~priority
+    (Deliver { src; maddr = addr; tag; link; sseq; k })
 
 let schedule t ?(delay = 1) f =
   if delay < 0 then invalid_arg "Net.schedule: negative delay";
   Event_queue.add t.events ~time:(t.clock + delay) (Action f)
 
-let node_deleted t v ~parent = Hashtbl.replace t.forwards v parent
+let node_deleted t v ~parent =
+  Hashtbl.replace t.forwards v parent;
+  Scheduler.on_node_deleted t.sched ~deleted:v ~resolve:(resolve t)
 
-let deliver t addr tag k =
+let deliver t { src; maddr; tag; link; sseq; k } =
   let target, forwarded =
-    match addr with
+    match maddr with
     | Exact v ->
         let r = resolve t v in
         (r, r <> v)
@@ -83,15 +145,28 @@ let deliver t addr tag k =
         | Some p -> (p, forwarded)
         | None -> (r, forwarded) (* the sender became the root: deliver locally *))
   in
+  let reordered =
+    match Hashtbl.find_opt t.link_last link with
+    | Some prev when prev > sseq ->
+        Hashtbl.replace t.link_reorders link
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.link_reorders link));
+        t.reorder_count <- t.reorder_count + 1;
+        true
+    | Some _ | None ->
+        Hashtbl.replace t.link_last link sseq;
+        false
+  in
   (match t.sink with
   | None -> ()
   | Some s ->
       Telemetry.Sink.event s ~time:t.clock
-        (Telemetry.Event.Deliver { dst = target; tag; forwarded });
+        (Telemetry.Event.Deliver { src; dst = target; tag; seq = sseq; forwarded; reordered });
+      let m = Telemetry.Sink.metrics s in
       if forwarded then
         Telemetry.Metrics.inc
-          (Telemetry.Metrics.counter (Telemetry.Sink.metrics s)
-             "net_forwarded_deliveries_total"));
+          (Telemetry.Metrics.counter m "net_forwarded_deliveries_total");
+      if reordered then
+        Telemetry.Metrics.inc (Telemetry.Metrics.counter m "net_reorders_total"));
   k target
 
 let step t =
@@ -99,14 +174,18 @@ let step t =
   | None -> false
   | Some (time, ev) ->
       t.clock <- max t.clock time;
-      (match ev with
-      | Deliver (addr, tag, k) -> deliver t addr tag k
-      | Action f -> f ());
+      (match ev with Deliver m -> deliver t m | Action f -> f ());
       true
 
 let run t = while step t do () done
 let now t = t.clock
 let messages t = t.message_count
+let reorders t = t.reorder_count
+
+let reorders_by_link t =
+  Hashtbl.fold (fun link n acc -> (link, n) :: acc) t.link_reorders []
+  |> List.sort (fun (a, _) (b, _) ->
+         String.compare (Scheduler.link_to_string a) (Scheduler.link_to_string b))
 
 let messages_by_tag t =
   Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) t.by_tag []

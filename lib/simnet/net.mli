@@ -13,8 +13,18 @@
     actions ([schedule]) share the clock but are not messages and are not
     counted.
 
-    Delays are drawn from a seeded RNG in [\[1, max_delay\]]: a deterministic
-    adversary within the asynchronous model. *)
+    {b Delivery discipline.} When and in what order messages arrive is
+    decided by a pluggable {!Scheduler}: the default, {!Scheduler.Fifo_link},
+    draws per-message delays from a seeded RNG in [\[1, max_delay\]] but
+    enforces FIFO order per (src, dst) link — the model DESIGN.md documents.
+    {!Scheduler.Random_delay} reproduces the historical independent-delay
+    behaviour (not FIFO); {!Scheduler.Adversarial_lifo} and
+    {!Scheduler.Bursty} are worst-case reordering and batching adversaries.
+    Link identity is frozen at send time (destination resolved through the
+    deletion-forwarding chain) and survives later deletions, so the FIFO
+    guarantee spans [node_deleted] adoption. Every delivery is checked
+    against the per-link send order; violations feed the {!reorders}
+    counters, so a trace proves which model actually ran. *)
 
 type node = Dtree.node
 
@@ -27,20 +37,35 @@ type addr =
 type t
 
 val create :
-  ?seed:int -> ?max_delay:int -> ?sink:Telemetry.Sink.t -> tree:Dtree.t -> unit -> t
-(** [max_delay] defaults to 8. When a telemetry [sink] is given, every send
-    is recorded as a [Send] event plus the [net_messages_total],
-    [net_bits_total], [net_tag_messages_total{tag}] counters and the
-    [net_message_bits] histogram, and every delivery as a [Deliver] event
-    (with [forwarded = true] when the deletion-forwarding chain redirected
-    it, also counted by [net_forwarded_deliveries_total]). Without a sink
-    the telemetry paths cost one branch and allocate nothing. *)
+  ?seed:int ->
+  ?max_delay:int ->
+  ?scheduler:Scheduler.discipline ->
+  ?sink:Telemetry.Sink.t ->
+  tree:Dtree.t ->
+  unit ->
+  t
+(** [max_delay] defaults to 8; [scheduler] defaults to
+    {!Scheduler.default}[ ()] (i.e. [Fifo_link], or the [SIMNET_SCHEDULER]
+    environment override). When a telemetry [sink] is given, the discipline
+    is recorded at creation (a [Sched] event plus the
+    [net_scheduler_info{discipline}] gauge), every send as a [Send] event
+    plus the [net_messages_total], [net_bits_total],
+    [net_tag_messages_total{tag}] counters and the [net_message_bits]
+    histogram, and every delivery as a [Deliver] event (with
+    [forwarded = true] when the deletion-forwarding chain redirected it,
+    also counted by [net_forwarded_deliveries_total], and
+    [reordered = true] when it overtook an earlier send on its link, counted
+    by [net_reorders_total]). Without a sink the telemetry paths cost one
+    branch and allocate nothing. *)
 
 val tree : t -> Dtree.t
 
 val sink : t -> Telemetry.Sink.t option
 (** The sink passed at creation; protocol layers riding this network
     ({!Dist}, the estimators) record their own events through it. *)
+
+val scheduler : t -> Scheduler.discipline
+(** The delivery discipline this network runs under. *)
 
 val send :
   t -> src:node -> addr:addr -> tag:string -> bits:int -> (node -> unit) -> unit
@@ -61,12 +86,29 @@ val now : t -> int
 
 val node_deleted : t -> node -> parent:node -> unit
 (** Register the forwarding of a deleted node to its adopting parent. The
-    tree itself is updated by the caller. *)
+    tree itself is updated by the caller. The scheduler's per-link FIFO
+    state is folded into the adopter's links, so ordering survives the
+    indirection. *)
 
 val resolve : t -> node -> node
-(** Follow the forwarding chain to the current live incarnation. *)
+(** Follow the forwarding chain to the current live incarnation. Applies
+    path compression: every visited entry is re-pointed at the final
+    adopter, so chains stay O(1) amortized under long deletion sequences. *)
+
+val forward_hops : t -> node -> int
+(** Number of forwarding-table hops [resolve] would traverse for this node
+    right now (0 for a live node). Exposed for the path-compression tests. *)
 
 val messages : t -> int
+
+val reorders : t -> int
+(** Total deliveries that overtook an earlier send on the same link (link =
+    (src, send-time-resolved dst), frozen at send). Always 0 under
+    [Fifo_link] and [Bursty]; expected nonzero under [Adversarial_lifo]
+    whenever two messages share a link and window. *)
+
+val reorders_by_link : t -> (Scheduler.link * int) list
+(** Per-link reorder counts, sorted by link, omitting links with none. *)
 
 val messages_by_tag : t -> (string * int) list
 (** Per-tag message counts, {b sorted by tag} (lexicographically). The order

@@ -1,0 +1,122 @@
+type discipline =
+  | Fifo_link
+  | Random_delay
+  | Adversarial_lifo of { window : int }
+  | Bursty of { period : int }
+
+type link = Direct of Dtree.node * Dtree.node | Up of Dtree.node
+
+type t = {
+  discipline : discipline;
+  fifo_last : (link, int) Hashtbl.t;  (* Fifo_link: last scheduled delivery *)
+  mutable lifo_rank : int;  (* Adversarial_lifo: strictly decreasing priority *)
+}
+
+let default_window = 8
+let default_period = 12
+
+let create d =
+  (match d with
+  | Adversarial_lifo { window } when window < 1 ->
+      invalid_arg "Scheduler.create: window must be >= 1"
+  | Bursty { period } when period < 1 ->
+      invalid_arg "Scheduler.create: period must be >= 1"
+  | _ -> ());
+  { discipline = d; fifo_last = Hashtbl.create 64; lifo_rank = 0 }
+
+let discipline t = t.discipline
+
+let name = function
+  | Fifo_link -> "fifo_link"
+  | Random_delay -> "random_delay"
+  | Adversarial_lifo { window } -> Printf.sprintf "adversarial_lifo:%d" window
+  | Bursty { period } -> Printf.sprintf "bursty:%d" period
+
+let of_string s =
+  let base, param =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+        let p = String.sub s (i + 1) (String.length s - i - 1) in
+        (String.sub s 0 i, int_of_string_opt p)
+  in
+  let has_colon = String.contains s ':' in
+  if has_colon && param = None then
+    Error (Printf.sprintf "Scheduler.of_string: bad parameter in %S" s)
+  else
+    match (base, param) with
+    | ("fifo" | "fifo_link"), None -> Ok Fifo_link
+    | ("random" | "random_delay"), None -> Ok Random_delay
+    | ("lifo" | "adversarial_lifo"), None ->
+        Ok (Adversarial_lifo { window = default_window })
+    | ("lifo" | "adversarial_lifo"), Some w when w >= 1 ->
+        Ok (Adversarial_lifo { window = w })
+    | "bursty", None -> Ok (Bursty { period = default_period })
+    | "bursty", Some p when p >= 1 -> Ok (Bursty { period = p })
+    | _ ->
+        Error
+          (Printf.sprintf
+             "Scheduler.of_string: unknown discipline %S (want \
+              fifo_link|random_delay|adversarial_lifo[:window]|bursty[:period])"
+             s)
+
+let default () =
+  match Sys.getenv_opt "SIMNET_SCHEDULER" with
+  | None | Some "" -> Fifo_link
+  | Some s -> (
+      match of_string s with Ok d -> d | Error msg -> invalid_arg msg)
+
+let defaults =
+  [
+    Fifo_link;
+    Random_delay;
+    Adversarial_lifo { window = default_window };
+    Bursty { period = default_period };
+  ]
+
+let decide t ~rng ~max_delay ~now ~link =
+  match t.discipline with
+  | Random_delay -> (now + 1 + Rng.int rng max_delay, 0)
+  | Fifo_link ->
+      let drawn = now + 1 + Rng.int rng max_delay in
+      let time =
+        match Hashtbl.find_opt t.fifo_last link with
+        | Some last when last > drawn -> last
+        | _ -> drawn
+      in
+      Hashtbl.replace t.fifo_last link time;
+      (time, 0)
+  | Adversarial_lifo { window } ->
+      t.lifo_rank <- t.lifo_rank - 1;
+      (((now / window) + 1) * window, t.lifo_rank)
+  | Bursty { period } -> (((now / period) + 1) * period, 0)
+
+let on_node_deleted t ~deleted ~resolve =
+  match t.discipline with
+  | Fifo_link ->
+      let moved =
+        Hashtbl.fold
+          (fun k last acc ->
+            match k with
+            | Direct (s, d) when d = deleted -> (k, Direct (s, resolve d), last) :: acc
+            | Up u when u = deleted -> (k, Up (resolve u), last) :: acc
+            | _ -> acc)
+          t.fifo_last []
+      in
+      List.iter
+        (fun (old_key, new_key, last) ->
+          Hashtbl.remove t.fifo_last old_key;
+          let merged =
+            match Hashtbl.find_opt t.fifo_last new_key with
+            | Some last' -> max last last'
+            | None -> last
+          in
+          Hashtbl.replace t.fifo_last new_key merged)
+        moved
+  | Random_delay | Adversarial_lifo _ | Bursty _ -> ()
+
+let link_to_string = function
+  | Direct (s, d) -> Printf.sprintf "%d->%d" s d
+  | Up v -> Printf.sprintf "%d->up" v
+
+let pp_link ppf l = Format.pp_print_string ppf (link_to_string l)

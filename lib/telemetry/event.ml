@@ -1,8 +1,16 @@
 type addr = Exact of int | Parent_of of int
 
 type kind =
+  | Sched of { discipline : string }
   | Send of { src : int; addr : addr; tag : string; bits : int }
-  | Deliver of { dst : int; tag : string; forwarded : bool }
+  | Deliver of {
+      src : int;
+      dst : int;
+      tag : string;
+      seq : int;
+      forwarded : bool;
+      reordered : bool;
+    }
   | Permit_span of {
       ctrl : string;
       node : int;
@@ -29,6 +37,8 @@ let to_json { time; kind } =
   let open Json in
   let fields =
     match kind with
+    | Sched { discipline } ->
+        [ ("ev", String "sched"); ("discipline", String discipline) ]
     | Send { src; addr; tag; bits } ->
         let dst, dst_kind =
           match addr with
@@ -37,9 +47,10 @@ let to_json { time; kind } =
         in
         [ ("ev", String "send"); ("src", Int src); ("dst", Int dst);
           ("dst_kind", String dst_kind); ("tag", String tag); ("bits", Int bits) ]
-    | Deliver { dst; tag; forwarded } ->
-        [ ("ev", String "deliver"); ("dst", Int dst); ("tag", String tag);
-          ("forwarded", Bool forwarded) ]
+    | Deliver { src; dst; tag; seq; forwarded; reordered } ->
+        [ ("ev", String "deliver"); ("src", Int src); ("dst", Int dst);
+          ("tag", String tag); ("seq", Int seq); ("forwarded", Bool forwarded);
+          ("reordered", Bool reordered) ]
     | Permit_span { ctrl; node; aid; outcome; submitted; latency } ->
         [ ("ev", String "permit_span"); ("ctrl", String ctrl); ("node", Int node);
           ("aid", Int aid); ("outcome", String outcome); ("submitted", Int submitted);
@@ -80,6 +91,7 @@ let of_json j =
   let str k = to_str (member k j) in
   let kind =
     match str "ev" with
+    | "sched" -> Sched { discipline = str "discipline" }
     | "send" ->
         let addr =
           match str "dst_kind" with
@@ -90,7 +102,14 @@ let of_json j =
         Send { src = int "src"; addr; tag = str "tag"; bits = int "bits" }
     | "deliver" ->
         Deliver
-          { dst = int "dst"; tag = str "tag"; forwarded = to_bool (member "forwarded" j) }
+          {
+            src = int "src";
+            dst = int "dst";
+            tag = str "tag";
+            seq = int "seq";
+            forwarded = to_bool (member "forwarded" j);
+            reordered = to_bool (member "reordered" j);
+          }
     | "permit_span" ->
         Permit_span
           {

@@ -14,10 +14,22 @@ type addr = Exact of int | Parent_of of int
 (** Mirror of [Net.addr] (the network library sits above this one). *)
 
 type kind =
+  | Sched of { discipline : string }
+      (** emitted once at network creation: which delivery discipline the
+          run's scheduler enforces, so a trace proves which model ran *)
   | Send of { src : int; addr : addr; tag : string; bits : int }
-  | Deliver of { dst : int; tag : string; forwarded : bool }
+  | Deliver of {
+      src : int;
+      dst : int;
+      tag : string;
+      seq : int;  (** global send sequence number of the delivered message *)
+      forwarded : bool;
+      reordered : bool;
+    }
       (** [forwarded]: the addressed node was deleted in flight and the
-          deletion-forwarding chain redirected the message. *)
+          deletion-forwarding chain redirected the message. [reordered]: the
+          delivery overtook an earlier send on the same link (never true
+          under the FIFO-per-link scheduler). *)
   | Permit_span of {
       ctrl : string;
       node : int;

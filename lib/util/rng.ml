@@ -30,9 +30,17 @@ let float t =
 
 let bool t = Int64.logand (int64 t) 1L = 1L
 
+let pick_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_arr: empty array";
+  Array.unsafe_get a (int t (Array.length a))
+
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
-  | l -> List.nth l (int t (List.length l))
+  | l ->
+      (* One O(n) conversion, then O(1) indexing — List.nth here made every
+         pick a second traversal. The drawn index is unchanged, so seeded
+         streams (and the E1-E13 numbers) are identical. *)
+      pick_arr t (Array.of_list l)
 
 let pick_weighted t choices =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 choices in

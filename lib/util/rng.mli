@@ -27,7 +27,12 @@ val float : t -> float
 val bool : t -> bool
 
 val pick : t -> 'a list -> 'a
-(** Uniform element of a non-empty list. @raise Invalid_argument on []. *)
+(** Uniform element of a non-empty list (converted to an array once, then
+    indexed — no [List.nth] re-traversal). @raise Invalid_argument on []. *)
+
+val pick_arr : t -> 'a array -> 'a
+(** Uniform element of a non-empty array, O(1). Draws the same index stream
+    as {!pick} on the equivalent list. @raise Invalid_argument on [||]. *)
 
 val pick_weighted : t -> ('a * float) list -> 'a
 (** Pick proportionally to the (non-negative, not all zero) weights. *)

@@ -6,6 +6,7 @@ let () =
       Test_params.suite;
       Test_units.suite;
       Test_simnet.suite;
+      Test_schedules.suite;
       Test_telemetry.suite;
       Test_central.suite;
       Test_iterated.suite;

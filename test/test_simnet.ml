@@ -31,6 +31,59 @@ let test_event_queue_bulk () =
   in
   Alcotest.(check int) "all drained" 2000 (drain min_int 0)
 
+let test_event_queue_priority_tier () =
+  (* same time: lower priority first, insertion order inside a priority *)
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:5 "a";
+  Event_queue.add q ~time:5 ~priority:(-1) "b";
+  Event_queue.add q ~time:5 ~priority:(-2) "c";
+  Event_queue.add q ~time:5 ~priority:(-2) "c2";
+  Event_queue.add q ~time:4 ~priority:100 "d";
+  let order = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time, then priority, then insertion"
+    [ "d"; "c"; "c2"; "b"; "a" ] (List.rev !order)
+
+let test_event_queue_drops_references () =
+  (* the heap must not retain popped payloads (the Deliver closures of a
+     long-lived network): popped slots are cleared, so the GC can collect *)
+  let q = Event_queue.create () in
+  let w = Weak.create 20 in
+  for i = 0 to 19 do
+    let payload = ref i in
+    Weak.set w i (Some payload);
+    Event_queue.add q ~time:i payload
+  done;
+  for _ = 1 to 10 do
+    ignore (Event_queue.pop q)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let dead lo hi =
+    let n = ref 0 in
+    for i = lo to hi do
+      if Weak.get w i = None then incr n
+    done;
+    !n
+  in
+  (* >= rather than =: the very last popped tuple may transiently survive in
+     a register; everything the heap array could leak must be gone *)
+  Alcotest.(check bool) "popped payloads collected" true (dead 0 9 >= 9);
+  Alcotest.(check int) "queued payloads retained" 0 (dead 10 19);
+  for _ = 1 to 10 do
+    ignore (Event_queue.pop q)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "all collected after full drain" true (dead 0 19 >= 19)
+
 let test_delivery_and_counting () =
   let tree = Dtree.create () in
   let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
@@ -76,10 +129,12 @@ let test_parent_resolution_after_insertion () =
   Alcotest.(check int) "delivered to the interposed node" fresh !got
 
 let test_delays_bounded_and_deterministic () =
+  (* pinned to Fifo_link: the RNG-delay disciplines are what this test is
+     about, so it must not follow a SIMNET_SCHEDULER override *)
   let run () =
     let tree = Dtree.create () in
     let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
-    let net = Net.create ~seed:4 ~max_delay:5 ~tree () in
+    let net = Net.create ~seed:4 ~max_delay:5 ~scheduler:Scheduler.Fifo_link ~tree () in
     let times = ref [] in
     for _ = 1 to 50 do
       Net.send net ~src:(Dtree.root tree) ~addr:(Net.Exact a) ~tag:"t" ~bits:1 (fun _ ->
@@ -102,6 +157,175 @@ let test_schedule_not_counted () =
   Alcotest.(check int) "not a message" 0 (Net.messages net);
   Alcotest.(check int) "clock advanced" 3 (Net.now net)
 
+(* --- scheduler disciplines ------------------------------------------- *)
+
+let test_scheduler_names_roundtrip () =
+  List.iter
+    (fun d ->
+      match Scheduler.of_string (Scheduler.name d) with
+      | Ok d' ->
+          Alcotest.(check string) "round-trip" (Scheduler.name d) (Scheduler.name d')
+      | Error msg -> Alcotest.fail msg)
+    Scheduler.defaults;
+  (match Scheduler.of_string "lifo:3" with
+  | Ok (Scheduler.Adversarial_lifo { window = 3 }) -> ()
+  | _ -> Alcotest.fail "lifo:3 should parse");
+  (match Scheduler.of_string "fifo" with
+  | Ok Scheduler.Fifo_link -> ()
+  | _ -> Alcotest.fail "fifo shorthand should parse");
+  match Scheduler.of_string "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk must not parse"
+
+(* Property: under Fifo_link, any two sends with the same (src, resolved dst)
+   deliver in send order — 120 seeds, random sends at random times. *)
+let test_fifo_per_link_property () =
+  for seed = 1 to 120 do
+    let tree = Dtree.create () in
+    let root = Dtree.root tree in
+    let a = Dtree.add_leaf tree ~parent:root in
+    let b = Dtree.add_leaf tree ~parent:a in
+    let c = Dtree.add_leaf tree ~parent:a in
+    let nodes = [| root; a; b; c |] in
+    let net = Net.create ~seed ~scheduler:Scheduler.Fifo_link ~tree () in
+    let wl = Rng.create ~seed:(seed + 1000) in
+    let delivered : (int * int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+    let mark = ref 0 in
+    let send_one src dst =
+      incr mark;
+      let m = !mark in
+      Net.send net ~src ~addr:(Net.Exact dst) ~tag:"t" ~bits:1 (fun _ ->
+          match Hashtbl.find_opt delivered (src, dst) with
+          | Some l -> l := m :: !l
+          | None -> Hashtbl.add delivered (src, dst) (ref [ m ]))
+    in
+    for _ = 1 to 40 do
+      let src = Rng.pick_arr wl nodes and dst = Rng.pick_arr wl nodes in
+      if src <> dst then begin
+        let delay = Rng.int wl 12 in
+        if delay = 0 then send_one src dst
+        else Net.schedule net ~delay (fun () -> send_one src dst)
+      end
+    done;
+    Net.run net;
+    Hashtbl.iter
+      (fun (src, dst) l ->
+        let order = List.rev !l in
+        if order <> List.sort compare order then
+          Alcotest.failf "seed %d: link %d->%d delivered out of send order" seed src dst)
+      delivered;
+    Alcotest.(check int) (Printf.sprintf "seed %d: reorder counter" seed) 0
+      (Net.reorders net)
+  done
+
+(* FIFO must survive the deletion-forwarding indirection: messages sent to a
+   node before it is deleted and messages sent after (resolving to the
+   adopter) still arrive in send order — 100 seeds. *)
+let test_fifo_across_forwarding () =
+  for seed = 1 to 100 do
+    let tree = Dtree.create () in
+    let root = Dtree.root tree in
+    let a = Dtree.add_leaf tree ~parent:root in
+    let b = Dtree.add_leaf tree ~parent:a in
+    let net = Net.create ~seed ~scheduler:Scheduler.Fifo_link ~tree () in
+    let got = ref [] in
+    let mark = ref 0 in
+    let send_to dst =
+      incr mark;
+      let m = !mark in
+      Net.send net ~src:root ~addr:(Net.Exact dst) ~tag:"t" ~bits:1 (fun _ ->
+          got := m :: !got)
+    in
+    (* burst towards b, then b dies (adopted by a), then more sends to the
+       same logical destination plus direct sends to the adopter *)
+    for _ = 1 to 5 do
+      send_to b
+    done;
+    Net.schedule net ~delay:2 (fun () ->
+        Dtree.remove_leaf tree b;
+        Net.node_deleted net b ~parent:a;
+        for _ = 1 to 5 do
+          send_to b
+        done);
+    Net.run net;
+    let order = List.rev !got in
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d: send order preserved across adoption" seed)
+      (List.init 10 (fun i -> i + 1))
+      order;
+    Alcotest.(check int) "no reorders" 0 (Net.reorders net)
+  done
+
+(* Regression pinning the historical behaviour: Random_delay is intentionally
+   NOT FIFO per link — independent delays let later sends overtake. *)
+let test_random_delay_reorders () =
+  let tree = Dtree.create () in
+  let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+  let net = Net.create ~seed:4242 ~scheduler:Scheduler.Random_delay ~max_delay:8 ~tree () in
+  let got = ref [] in
+  for i = 1 to 30 do
+    Net.send net ~src:(Dtree.root tree) ~addr:(Net.Exact a) ~tag:"t" ~bits:1 (fun _ ->
+        got := i :: !got)
+  done;
+  Net.run net;
+  let order = List.rev !got in
+  Alcotest.(check bool) "delivered out of send order" true
+    (order <> List.sort compare order);
+  Alcotest.(check bool) "reorder counter nonzero" true (Net.reorders net > 0);
+  match Net.reorders_by_link net with
+  | [ (Scheduler.Direct (s, d), n) ] ->
+      Alcotest.(check (pair int int)) "on the one link" (Dtree.root tree, a) (s, d);
+      Alcotest.(check int) "per-link count = total" (Net.reorders net) n
+  | _ -> Alcotest.fail "expected exactly one reordering link"
+
+let test_adversarial_lifo_newest_first () =
+  let tree = Dtree.create () in
+  let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+  let net =
+    Net.create ~seed:5 ~scheduler:(Scheduler.Adversarial_lifo { window = 10 }) ~tree ()
+  in
+  let got = ref [] in
+  for i = 1 to 5 do
+    Net.send net ~src:(Dtree.root tree) ~addr:(Net.Exact a) ~tag:"t" ~bits:1 (fun _ ->
+        got := (i, Net.now net) :: !got)
+  done;
+  Net.run net;
+  Alcotest.(check (list (pair int int))) "window flush, newest first"
+    [ (5, 10); (4, 10); (3, 10); (2, 10); (1, 10) ]
+    (List.rev !got);
+  Alcotest.(check int) "every overtaken message counted" 4 (Net.reorders net)
+
+let test_bursty_batches () =
+  let tree = Dtree.create () in
+  let a = Dtree.add_leaf tree ~parent:(Dtree.root tree) in
+  let net = Net.create ~seed:6 ~scheduler:(Scheduler.Bursty { period = 10 }) ~tree () in
+  let got = ref [] in
+  let send i =
+    Net.send net ~src:(Dtree.root tree) ~addr:(Net.Exact a) ~tag:"t" ~bits:1 (fun _ ->
+        got := (i, Net.now net) :: !got)
+  in
+  send 1;
+  send 2;
+  Net.schedule net ~delay:3 (fun () -> send 3);
+  Net.schedule net ~delay:13 (fun () -> send 4);
+  Net.run net;
+  Alcotest.(check (list (pair int int))) "flush boundaries, FIFO within each"
+    [ (1, 10); (2, 10); (3, 10); (4, 20) ]
+    (List.rev !got);
+  Alcotest.(check int) "bursty is order preserving" 0 (Net.reorders net)
+
+let test_resolve_path_compression () =
+  let tree = Dtree.create () in
+  let net = Net.create ~seed:7 ~tree () in
+  (* a 1000-deep synthetic forwarding chain: i adopted by i+1 *)
+  for i = 1 to 1000 do
+    Net.node_deleted net i ~parent:(i + 1)
+  done;
+  Alcotest.(check int) "resolves to the final adopter" 1001 (Net.resolve net 1);
+  Alcotest.(check int) "head compressed to one hop" 1 (Net.forward_hops net 1);
+  Alcotest.(check int) "mid-chain compressed too" 1 (Net.forward_hops net 500);
+  Alcotest.(check int) "live nodes have no hops" 0 (Net.forward_hops net 1001)
+
 let suite =
   ( "simnet",
     [
@@ -113,4 +337,15 @@ let suite =
       Alcotest.test_case "delays bounded and deterministic" `Quick
         test_delays_bounded_and_deterministic;
       Alcotest.test_case "local actions uncounted" `Quick test_schedule_not_counted;
+      Alcotest.test_case "event queue priority tier" `Quick test_event_queue_priority_tier;
+      Alcotest.test_case "event queue drops references" `Quick
+        test_event_queue_drops_references;
+      Alcotest.test_case "scheduler names round-trip" `Quick test_scheduler_names_roundtrip;
+      Alcotest.test_case "fifo per-link property" `Quick test_fifo_per_link_property;
+      Alcotest.test_case "fifo across forwarding" `Quick test_fifo_across_forwarding;
+      Alcotest.test_case "random delay reorders" `Quick test_random_delay_reorders;
+      Alcotest.test_case "adversarial lifo newest first" `Quick
+        test_adversarial_lifo_newest_first;
+      Alcotest.test_case "bursty batches" `Quick test_bursty_batches;
+      Alcotest.test_case "resolve path compression" `Quick test_resolve_path_compression;
     ] )

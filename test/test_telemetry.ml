@@ -89,7 +89,19 @@ let sample_events =
   [
     { E.time = 0; kind = E.Send { src = 1; addr = E.Exact 2; tag = "up"; bits = 17 } };
     { E.time = 3; kind = E.Send { src = 2; addr = E.Parent_of 2; tag = "dn"; bits = 0 } };
-    { E.time = 4; kind = E.Deliver { dst = 0; tag = "up"; forwarded = true } };
+    { E.time = 0; kind = E.Sched { discipline = "fifo_link" } };
+    {
+      E.time = 4;
+      kind =
+        E.Deliver
+          { src = 1; dst = 0; tag = "up"; seq = 0; forwarded = true; reordered = false };
+    };
+    {
+      E.time = 5;
+      kind =
+        E.Deliver
+          { src = 2; dst = 0; tag = "dn"; seq = 7; forwarded = false; reordered = true };
+    };
     {
       E.time = 9;
       kind =

@@ -39,6 +39,22 @@ let test_rng_pick_weighted () =
   let a = Hashtbl.find counts "a" and c = Hashtbl.find counts "c" in
   Alcotest.(check bool) "ratio roughly 1:2" true (c > a)
 
+let test_rng_pick_stream_identical () =
+  (* pick must draw exactly the index stream List.nth-based picking drew, so
+     seeded experiments (E1-E13) reproduce across the array-indexing change *)
+  let a = Rng.create ~seed:14 and b = Rng.create ~seed:14 in
+  let l = List.init 37 (fun i -> i * i) in
+  for _ = 1 to 500 do
+    let via_pick = Rng.pick a l in
+    let via_nth = List.nth l (Rng.int b (List.length l)) in
+    Alcotest.(check int) "same element as the List.nth formulation" via_nth via_pick
+  done;
+  (* pick_arr shares the stream with pick on the equivalent list *)
+  let arr = Array.of_list l in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "pick_arr = pick" (Rng.pick a l) (Rng.pick_arr b arr)
+  done
+
 let test_rng_shuffle_permutes () =
   let r = Rng.create ~seed:13 in
   let l = List.init 30 Fun.id in
@@ -158,6 +174,7 @@ let suite =
       Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
       Alcotest.test_case "rng split" `Quick test_rng_split_independent;
       Alcotest.test_case "rng weighted pick" `Quick test_rng_pick_weighted;
+      Alcotest.test_case "rng pick stream identical" `Quick test_rng_pick_stream_identical;
       Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
       Alcotest.test_case "stats helpers" `Quick test_stats;
       Alcotest.test_case "package split" `Quick test_package_split;
