@@ -1,53 +1,103 @@
 (* The experiment harness: one section per quantitative claim of the paper
    (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the recorded
-   outcomes). Each experiment prints the table it regenerates. *)
+   outcomes). Each experiment prints the table it regenerates.
+
+   Experiments are functions of an explicit {!ctx} — output formatter, tally,
+   delivery discipline and parallelism — rather than process globals, so any
+   number of them (and any number of rows inside one) can run concurrently.
+   Each table row of every experiment is an independent, seeded simulation;
+   {!rows} fans the rows of one table out over a [Pool] of [ctx.jobs]
+   domains, rendering each row into its own buffer and merging text and
+   tallies in input order, so the printed tables and the --json tallies are
+   byte-identical whatever the parallelism. *)
 
 open Controller
 
-(* Machine-readable per-experiment tallies. The experiments call [Results.note]
-   as they print each table row; bench/main.ml brackets every experiment with
-   [start]/[finish] and, under --json, writes the tallies out with
-   [Telemetry.Json]. When no bracket is active [note] is a no-op, so the
-   plain text mode is unchanged. *)
+(* Machine-readable per-experiment tallies. Row bodies call {!note} as they
+   print each table row; bench/main.ml gives every experiment a fresh {!ctx}
+   and, under --json, writes the accumulated tallies out with
+   [Telemetry.Json]. [alloc_bytes] is accounted per row, on the domain that
+   ran the row, so the total is independent of -j. *)
 module Results = struct
   type tally = {
     mutable messages : int;
     mutable moves : int;
     mutable bits : int;
     mutable rows : int;
+    mutable alloc_bytes : int;
   }
 
-  let current : tally option ref = ref None
-  let start () = current := Some { messages = 0; moves = 0; bits = 0; rows = 0 }
+  let make () = { messages = 0; moves = 0; bits = 0; rows = 0; alloc_bytes = 0 }
 
-  let note ?(messages = 0) ?(moves = 0) ?(bits = 0) () =
-    match !current with
-    | None -> ()
-    | Some t ->
-        t.messages <- t.messages + messages;
-        t.moves <- t.moves + moves;
-        t.bits <- t.bits + bits;
-        t.rows <- t.rows + 1
-
-  let finish () =
-    let r = !current in
-    current := None;
-    r
+  let merge ~into t =
+    into.messages <- into.messages + t.messages;
+    into.moves <- into.moves + t.moves;
+    into.bits <- into.bits + t.bits;
+    into.rows <- into.rows + t.rows;
+    into.alloc_bytes <- into.alloc_bytes + t.alloc_bytes
 end
 
-(* Delivery discipline for every network-backed experiment; bench/main.ml
-   sets this from --scheduler. [None] leaves the choice to
+(* Per-run context: everything an experiment used to reach for process
+   globals for. [scheduler = None] leaves the delivery discipline to
    {!Scheduler.default} (fifo_link, or the SIMNET_SCHEDULER override). *)
-let scheduler : Scheduler.discipline option ref = ref None
-let effective_scheduler () = Option.value ~default:(Scheduler.default ()) !scheduler
+type ctx = {
+  ppf : Format.formatter;
+  tally : Results.tally;
+  scheduler : Scheduler.discipline option;
+  jobs : int;
+}
 
-let hr () = Format.printf "%s@." (String.make 78 '-')
+let make_ctx ?scheduler ?(jobs = 1) ?(ppf = Format.std_formatter) () =
+  { ppf; tally = Results.make (); scheduler; jobs }
 
-let section id title =
-  Format.printf "@.";
-  hr ();
-  Format.printf "%s  %s@." id title;
-  hr ()
+let effective_scheduler ctx =
+  Option.value ~default:(Scheduler.default ()) ctx.scheduler
+
+let printf ctx fmt = Format.fprintf ctx.ppf fmt
+
+let note ctx ?(messages = 0) ?(moves = 0) ?(bits = 0) () =
+  let t = ctx.tally in
+  t.messages <- t.messages + messages;
+  t.moves <- t.moves + moves;
+  t.bits <- t.bits + bits;
+  t.rows <- t.rows + 1
+
+(* Fan the rows of one table out over the context's worker budget. Each row
+   gets a private sub-context (own buffer, own tally, jobs = 1 — rows do not
+   nest pools); the buffered text and the tallies are folded back into [ctx]
+   in input order. *)
+let rows ctx items f =
+  let run_row item =
+    let buf = Buffer.create 256 in
+    let sub =
+      {
+        ppf = Format.formatter_of_buffer buf;
+        tally = Results.make ();
+        scheduler = ctx.scheduler;
+        jobs = 1;
+      }
+    in
+    let a0 = Gc.allocated_bytes () in
+    f sub item;
+    sub.tally.Results.alloc_bytes <-
+      sub.tally.Results.alloc_bytes
+      + int_of_float (Gc.allocated_bytes () -. a0);
+    Format.pp_print_flush sub.ppf ();
+    (Buffer.contents buf, sub.tally)
+  in
+  List.iter
+    (fun (text, tally) ->
+      Format.pp_print_string ctx.ppf text;
+      Results.merge ~into:ctx.tally tally)
+    (Pool.map ~jobs:ctx.jobs run_row items)
+
+let hr ctx = printf ctx "%s@." (String.make 78 '-')
+
+let section ctx id title =
+  printf ctx "@.";
+  hr ctx;
+  printf ctx "%s  %s@." id title;
+  hr ctx
 
 let log2f n = Stats.log2 (float_of_int (max 2 n))
 
@@ -78,31 +128,28 @@ let run_adaptive_once ?(variant = Adaptive.By_changes) ~seed ~n0 ~m ~w ~requests
   done;
   (Adaptive.moves ctrl, Adaptive.granted ctrl, !sizes)
 
-let e1 () =
-  section "E1" "Theorem 3.5(1): moves = O(n0 log^2 n0 log(M/W+1) + sum_j log^2 n_j log(M/W+1))";
-  Format.printf "churn workload, M = n0, W = M/8; the moves/bound ratio should stay flat@.@.";
-  Format.printf "%8s %12s %14s %14s %8s@." "n0" "granted" "moves" "bound" "ratio";
-  List.iter
-    (fun n0 ->
+let e1 ctx =
+  section ctx "E1" "Theorem 3.5(1): moves = O(n0 log^2 n0 log(M/W+1) + sum_j log^2 n_j log(M/W+1))";
+  printf ctx "churn workload, M = n0, W = M/8; the moves/bound ratio should stay flat@.@.";
+  printf ctx "%8s %12s %14s %14s %8s@." "n0" "granted" "moves" "bound" "ratio";
+  rows ctx [ 64; 128; 256; 512; 1024; 2048; 4096 ] (fun row n0 ->
       let m = n0 and w = max 1 (n0 / 8) in
       let moves, granted, sizes =
         run_adaptive_once ~seed:(41 + n0) ~n0 ~m ~w ~requests:(2 * n0)
           ~mix:Workload.Mix.churn ()
       in
       let bound = theorem_3_5_bound ~n0 ~m ~w sizes in
-      Results.note ~moves ();
-      Format.printf "%8d %12d %14s %14.0f %8.4f@." n0 granted (Stats.pretty_int moves)
+      note row ~moves ();
+      printf row "%8d %12d %14s %14.0f %8.4f@." n0 granted (Stats.pretty_int moves)
         bound
-        (float_of_int moves /. bound))
-    [ 64; 128; 256; 512; 1024; 2048; 4096 ];
+        (float_of_int moves /. bound));
   (* the second variant of Theorem 3.5: epochs rotate when the size doubles,
      giving O(N log^2 N log(M/(W+1))) for the maximal simultaneous size N *)
-  Format.printf
+  printf ctx
     "@.Theorem 3.5(2) (epochs rotate on size doubling), grow-only from n0 = 16:@.@.";
-  Format.printf "%8s %8s %12s %14s %14s %8s@." "M" "final N" "granted" "moves"
+  printf ctx "%8s %8s %12s %14s %14s %8s@." "M" "final N" "granted" "moves"
     "N log^2 N lg" "ratio";
-  List.iter
-    (fun m ->
+  rows ctx [ 256; 512; 1024; 2048; 4096 ] (fun row m ->
       let w = max 1 (m / 8) in
       let moves, granted, sizes =
         run_adaptive_once ~variant:Adaptive.By_doubling ~seed:(43 + m) ~n0:16 ~m ~w
@@ -111,27 +158,25 @@ let e1 () =
       let n_max = List.fold_left max 16 sizes in
       let logmw = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
       let bound = float_of_int n_max *. log2f n_max *. log2f n_max *. logmw in
-      Results.note ~moves ();
-      Format.printf "%8d %8d %12d %14s %14.0f %8.4f@." m n_max granted
+      note row ~moves ();
+      printf row "%8d %8d %12d %14s %14.0f %8.4f@." m n_max granted
         (Stats.pretty_int moves) bound
         (float_of_int moves /. bound))
-    [ 256; 512; 1024; 2048; 4096 ]
 
 (* ------------------------------------------------------------------ *)
 (* E2: Observation 3.4 - the log(M/(W+1)) dependence                   *)
 
-let e2 () =
-  section "E2" "Observation 3.4: move complexity scales with log(M/(W+1))";
+let e2 ctx =
+  section ctx "E2" "Observation 3.4: move complexity scales with log(M/(W+1))";
   let n0 = 4096 and m = 2048 in
-  Format.printf
+  printf ctx
     "deep path of %d nodes, M = %d, deep-biased grow-only requests, driven to@." n0 m;
-  Format.printf
+  printf ctx
     "exhaustion. moves must stay below c * U log^2 U log(M/(W+1)) with one small c,@.";
-  Format.printf "and the halving iterations below log(M/(W+1)) + 2@.@.";
-  Format.printf "%8s %14s %12s %12s %16s %8s@." "W" "log(M/(W+1))" "iterations" "moves"
+  printf ctx "and the halving iterations below log(M/(W+1)) + 2@.@.";
+  printf ctx "%8s %14s %12s %12s %16s %8s@." "W" "log(M/(W+1))" "iterations" "moves"
     "bound" "ratio";
-  List.iter
-    (fun w ->
+  rows ctx [ 0; 1; 3; 15; 63; 255; 1023 ] (fun row w ->
       let rng = Rng.create ~seed:52 in
       let tree = Workload.Shape.build rng (Workload.Shape.Path n0) in
       let u = n0 + m + 64 in
@@ -142,27 +187,27 @@ let e2 () =
       done;
       let logterm = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
       let bound = float_of_int u *. log2f u *. log2f u *. logterm in
-      Results.note ~moves:(Iterated.moves ctrl) ();
-      Format.printf "%8d %14.2f %12d %12s %16.0f %8.4f@." w logterm
+      note row ~moves:(Iterated.moves ctrl) ();
+      printf row "%8d %14.2f %12d %12s %16.0f %8.4f@." w logterm
         (Iterated.iterations ctrl)
         (Stats.pretty_int (Iterated.moves ctrl))
         bound
         (float_of_int (Iterated.moves ctrl) /. bound))
-    [ 0; 1; 3; 15; 63; 255; 1023 ]
 
 (* ------------------------------------------------------------------ *)
 (* E3: grow-only comparison with [4]'s bin hierarchy and the trivial    *)
 (* controller                                                          *)
 
-let e3 () =
-  section "E3" "grow-only trees: ours vs Afek et al. [4] bins vs trivial (move complexity)";
-  Format.printf
+let e3 ctx =
+  section ctx "E3" "grow-only trees: ours vs Afek et al. [4] bins vs trivial (move complexity)";
+  printf ctx
     "deep path of n0 nodes, M = 2 n0, W = M/2, deep-biased leaf insertions, driven@.";
-  Format.printf "to exhaustion; per-grant cost is the fair comparison@.@.";
-  Format.printf "%6s %6s | %10s %7s %9s | %10s %7s %9s | %10s %9s@." "n0" "M" "ours"
+  printf ctx "to exhaustion; per-grant cost is the fair comparison@.@.";
+  printf ctx "%6s %6s | %10s %7s %9s | %10s %7s %9s | %10s %9s@." "n0" "M" "ours"
     "grant" "per-grant" "AAPS [4]" "grant" "per-grant" "trivial" "per-grant";
-  List.iter
-    (fun (n0, mfactor) ->
+  rows ctx
+    [ (512, 2); (1024, 2); (2048, 2); (512, 16); (1024, 16) ]
+    (fun row (n0, mfactor) ->
       let m = mfactor * n0 in
       let w = m / 2 in
       let u = n0 + m + 64 in
@@ -204,27 +249,32 @@ let e3 () =
           t3
       in
       let per m g = float_of_int m /. float_of_int (max 1 g) in
-      Results.note ~moves:ours_moves ();
-      Format.printf "%6d %6d | %10s %7d %9.1f | %10s %7d %9.1f | %10s %9.1f@." n0 m
+      note row ~moves:ours_moves ();
+      printf row "%6d %6d | %10s %7d %9.1f | %10s %7d %9.1f | %10s %9.1f@." n0 m
         (Stats.pretty_int ours_moves) ours_granted (per ours_moves ours_granted)
         (Stats.pretty_int aaps_moves) aaps_granted (per aaps_moves aaps_granted)
-        (Stats.pretty_int triv_moves) (per triv_moves triv_granted))
-    [ (512, 2); (1024, 2); (2048, 2); (512, 16); (1024, 16) ];
-  Format.printf
+        (Stats.pretty_int triv_moves) (per triv_moves triv_granted));
+  printf ctx
     "@.ours grants within [M-W, M] exactly; the bin hierarchy strands a constant@.";
-  Format.printf "fraction of M, its structural price for depth-keyed bins.@."
+  printf ctx "fraction of M, its structural price for depth-keyed bins.@."
 
 (* ------------------------------------------------------------------ *)
 (* E4: the full dynamic model, where [4] cannot run at all             *)
 
-let e4 () =
-  section "E4" "full dynamic model (insert/delete leaves and internal nodes)";
-  Format.printf
+let e4 ctx =
+  section ctx "E4" "full dynamic model (insert/delete leaves and internal nodes)";
+  printf ctx
     "deep caterpillar of n0 nodes, M = n0, W = M/2, deep-biased requests;@.";
-  Format.printf "AAPS [4] raises on its first non-insert request@.@.";
-  Format.printf "%6s %14s | %12s %12s %8s@." "n0" "mix" "ours" "trivial" "ratio";
-  List.iter
-    (fun (n0, mix, mix_name) ->
+  printf ctx "AAPS [4] raises on its first non-insert request@.@.";
+  printf ctx "%6s %14s | %12s %12s %8s@." "n0" "mix" "ours" "trivial" "ratio";
+  rows ctx
+    [
+      (1024, Workload.Mix.churn, "churn");
+      (4096, Workload.Mix.churn, "churn");
+      (1024, Workload.Mix.shrink_heavy, "shrink-heavy");
+      (4096, Workload.Mix.shrink_heavy, "shrink-heavy");
+    ]
+    (fun row (n0, mix, mix_name) ->
       let m = n0 and w = max 1 (n0 / 2) in
       let requests = m + 100 in
       let rng = Rng.create ~seed:(70 + n0) in
@@ -241,69 +291,61 @@ let e4 () =
       for _ = 1 to requests do
         ignore (Baseline_trivial.request triv (Workload.next_op wl2 tree2))
       done;
-      Results.note ~moves:(Adaptive.moves ctrl) ();
-      Format.printf "%6d %14s | %12s %12s %8.2f@." n0 mix_name
+      note row ~moves:(Adaptive.moves ctrl) ();
+      printf row "%6d %14s | %12s %12s %8.2f@." n0 mix_name
         (Stats.pretty_int (Adaptive.moves ctrl))
         (Stats.pretty_int (Baseline_trivial.moves triv))
         (float_of_int (Baseline_trivial.moves triv)
-        /. float_of_int (max 1 (Adaptive.moves ctrl))))
-    [
-      (1024, Workload.Mix.churn, "churn");
-      (4096, Workload.Mix.churn, "churn");
-      (1024, Workload.Mix.shrink_heavy, "shrink-heavy");
-      (4096, Workload.Mix.shrink_heavy, "shrink-heavy");
-    ];
+        /. float_of_int (max 1 (Adaptive.moves ctrl))));
   (* demonstrate AAPS's inapplicability *)
   let rng = Rng.create ~seed:77 in
   let tree = Workload.Shape.build rng (Workload.Shape.Random 64) in
   let aaps =
     Baseline_aaps.create ~params:(Params.make ~m:64 ~w:32 ~u:128) ~tree
   in
-  let leaf = List.hd (Dtree.leaves tree) in
+  let leaf = Dtree.any_leaf tree in
   (try
      ignore (Baseline_aaps.request aaps (Workload.Remove_leaf leaf));
-     Format.printf "@.unexpected: AAPS accepted a deletion@."
+     printf ctx "@.unexpected: AAPS accepted a deletion@."
    with Invalid_argument msg ->
-     Format.printf "@.AAPS on a deletion: Invalid_argument %S@." msg)
+     printf ctx "@.AAPS on a deletion: Invalid_argument %S@." msg)
 
 (* ------------------------------------------------------------------ *)
 (* E5: Theorem 4.9 - distributed message complexity and message size   *)
 
-let e5 () =
-  section "E5" "Theorem 4.9: distributed controller, concurrent requests";
-  Format.printf
+let e5 ctx =
+  section ctx "E5" "Theorem 4.9: distributed controller, concurrent requests";
+  printf ctx
     "churn, M = n0, W = M/8, concurrency 8; message complexity should track the@.";
-  Format.printf "centralized bound shape, messages stay O(log N) bits@.@.";
-  Format.printf "%6s %10s %12s %14s %8s %10s %9s@." "n0" "granted" "messages" "bound"
+  printf ctx "centralized bound shape, messages stay O(log N) bits@.@.";
+  printf ctx "%6s %10s %12s %14s %8s %10s %9s@." "n0" "granted" "messages" "bound"
     "ratio" "max bits" "8 log N";
-  List.iter
-    (fun n0 ->
+  rows ctx [ 64; 128; 256; 512; 1024 ] (fun row n0 ->
       let m = n0 and w = max 1 (n0 / 8) in
       let stats =
-        Dist_harness.run ~seed:(80 + n0) ~concurrency:8 ?scheduler:!scheduler
+        Dist_harness.run ~seed:(80 + n0) ~concurrency:8 ?scheduler:row.scheduler
           ~shape:(Workload.Shape.Random n0) ~mix:Workload.Mix.churn ~m ~w
           ~requests:(2 * n0) ()
       in
       let logmw = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
       let bound = float_of_int n0 *. log2f n0 *. log2f n0 *. logmw in
-      Results.note ~messages:stats.Dist_harness.messages
+      note row ~messages:stats.Dist_harness.messages
         ~bits:stats.Dist_harness.total_bits ();
-      Format.printf "%6d %10d %12s %14.0f %8.4f %10d %9d@." n0
+      printf row "%6d %10d %12s %14.0f %8.4f %10d %9d@." n0
         stats.Dist_harness.granted
         (Stats.pretty_int stats.Dist_harness.messages)
         bound
         (float_of_int stats.Dist_harness.messages /. bound)
         stats.Dist_harness.max_message_bits
         (8 * Stats.ceil_log2 (max 2 (2 * n0))))
-    [ 64; 128; 256; 512; 1024 ]
 
 (* ------------------------------------------------------------------ *)
 (* E6: Theorem 5.1 - size estimation                                   *)
 
-let run_size_estimation ~seed ~n0 ~beta ~changes ~mix =
+let run_size_estimation ?scheduler ~seed ~n0 ~beta ~changes ~mix () =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
-  let net = Net.create ~seed:(seed + 1) ?scheduler:!scheduler ~tree () in
+  let net = Net.create ~seed:(seed + 1) ?scheduler ~tree () in
   let se = Estimator.Size_estimation.create ~beta ~net () in
   let wl = Workload.make ~seed:(seed + 2) ~mix () in
   let reserved = Hashtbl.create 16 in
@@ -336,43 +378,43 @@ let run_size_estimation ~seed ~n0 ~beta ~changes ~mix =
   Net.run net;
   (se, net, !worst)
 
-let e6 () =
-  section "E6" "Theorem 5.1: size estimation - beta-approximation and message complexity";
-  Format.printf "churn workload; every node estimates within beta at all times@.@.";
-  Format.printf "%6s %6s %9s %8s %12s %14s %14s@." "n0" "beta" "changes" "epochs"
+let e6 ctx =
+  section ctx "E6" "Theorem 5.1: size estimation - beta-approximation and message complexity";
+  printf ctx "churn workload; every node estimates within beta at all times@.@.";
+  printf ctx "%6s %6s %9s %8s %12s %14s %14s@." "n0" "beta" "changes" "epochs"
     "messages" "msgs/change" "log^2 n";
-  List.iter
-    (fun (n0, beta) ->
+  rows ctx
+    [ (64, 2.0); (128, 2.0); (256, 2.0); (512, 2.0); (1024, 2.0); (256, 1.5); (256, 3.0) ]
+    (fun row (n0, beta) ->
       let changes = 2 * n0 in
       let se, net, worst =
-        run_size_estimation ~seed:(90 + n0) ~n0 ~beta ~changes ~mix:Workload.Mix.churn
+        run_size_estimation ?scheduler:row.scheduler ~seed:(90 + n0) ~n0 ~beta
+          ~changes ~mix:Workload.Mix.churn ()
       in
       let total =
         Net.messages net + Estimator.Size_estimation.overhead_messages se
       in
-      Results.note ~messages:total ~bits:(Net.total_bits net) ();
-      Format.printf "%6d %6.1f %9d %8d %12s %14.1f %14.1f   (worst ratio %.3f)@." n0
+      note row ~messages:total ~bits:(Net.total_bits net) ();
+      printf row "%6d %6.1f %9d %8d %12s %14.1f %14.1f   (worst ratio %.3f)@." n0
         beta changes
         (Estimator.Size_estimation.epochs se)
         (Stats.pretty_int total)
         (float_of_int total /. float_of_int changes)
         (log2f n0 *. log2f n0)
         worst)
-    [ (64, 2.0); (128, 2.0); (256, 2.0); (512, 2.0); (1024, 2.0); (256, 1.5); (256, 3.0) ]
 
 (* ------------------------------------------------------------------ *)
 (* E7: Theorem 5.2 - name assignment                                   *)
 
-let e7 () =
-  section "E7" "Theorem 5.2: name assignment - unique ids in [1, 4n] at all times";
-  Format.printf "%6s %9s %8s %12s %14s %12s@." "n0" "changes" "epochs" "messages"
+let e7 ctx =
+  section ctx "E7" "Theorem 5.2: name assignment - unique ids in [1, 4n] at all times";
+  printf ctx "%6s %9s %8s %12s %14s %12s@." "n0" "changes" "epochs" "messages"
     "msgs/change" "max id/n";
-  List.iter
-    (fun n0 ->
+  rows ctx [ 64; 128; 256; 512; 1024 ] (fun row n0 ->
       let changes = 2 * n0 in
       let rng = Rng.create ~seed:(100 + n0) in
       let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
-      let net = Net.create ~seed:(101 + n0) ?scheduler:!scheduler ~tree () in
+      let net = Net.create ~seed:(101 + n0) ?scheduler:row.scheduler ~tree () in
       let na = Estimator.Name_assignment.create ~net () in
       let wl = Workload.make ~seed:102 ~mix:Workload.Mix.churn () in
       let reserved = Hashtbl.create 16 in
@@ -399,23 +441,30 @@ let e7 () =
       done;
       Net.run net;
       let total = Net.messages net + Estimator.Name_assignment.overhead_messages na in
-      Results.note ~messages:total ~bits:(Net.total_bits net) ();
-      Format.printf "%6d %9d %8d %12s %14.1f %12.3f@." n0 changes
+      note row ~messages:total ~bits:(Net.total_bits net) ();
+      printf row "%6d %9d %8d %12s %14.1f %12.3f@." n0 changes
         (Estimator.Name_assignment.epochs na)
         (Stats.pretty_int total)
         (float_of_int total /. float_of_int changes)
         (Estimator.Name_assignment.max_id_ever_ratio na))
-    [ 64; 128; 256; 512; 1024 ]
 
 (* ------------------------------------------------------------------ *)
 (* E8: Theorem 5.4 - heavy-child decomposition                         *)
 
-let e8 () =
-  section "E8" "Theorem 5.4: heavy-child decomposition - light ancestors are O(log n)";
-  Format.printf "%20s %9s %8s %8s %14s %16s@." "shape" "changes" "n" "worst"
+let e8 ctx =
+  section ctx "E8" "Theorem 5.4: heavy-child decomposition - light ancestors are O(log n)";
+  printf ctx "%20s %9s %8s %8s %14s %16s@." "shape" "changes" "n" "worst"
     "log_{4/3} SW" "messages";
-  List.iter
-    (fun (shape, mix, changes) ->
+  rows ctx
+    [
+      (Workload.Shape.Random 256, Workload.Mix.churn, 512);
+      (Workload.Shape.Random 1024, Workload.Mix.churn, 1024);
+      (Workload.Shape.Path 512, Workload.Mix.grow_only, 512);
+      (Workload.Shape.Balanced (2, 1023), Workload.Mix.churn, 1024);
+      (Workload.Shape.Star 512, Workload.Mix.churn, 512);
+      (Workload.Shape.Caterpillar 512, Workload.Mix.shrink_heavy, 512);
+    ]
+    (fun row (shape, mix, changes) ->
       let rng = Rng.create ~seed:110 in
       let tree = Workload.Shape.build rng shape in
       let hc = Estimator.Heavy_child.create ~tree () in
@@ -426,31 +475,22 @@ let e8 () =
       let sw_root =
         Estimator.Subtree_estimator.super_weight (Estimator.Heavy_child.estimator hc) 0
       in
-      Results.note ~messages:(Estimator.Heavy_child.messages hc) ();
-      Format.printf "%20s %9d %8d %8d %14.1f %16s@."
+      note row ~messages:(Estimator.Heavy_child.messages hc) ();
+      printf row "%20s %9d %8d %8d %14.1f %16s@."
         (Workload.Shape.name shape)
         changes (Dtree.size tree)
         (Estimator.Heavy_child.max_light_ancestors hc)
         (log (float_of_int (max 2 sw_root)) /. log (4.0 /. 3.0))
         (Stats.pretty_int (Estimator.Heavy_child.messages hc)))
-    [
-      (Workload.Shape.Random 256, Workload.Mix.churn, 512);
-      (Workload.Shape.Random 1024, Workload.Mix.churn, 1024);
-      (Workload.Shape.Path 512, Workload.Mix.grow_only, 512);
-      (Workload.Shape.Balanced (2, 1023), Workload.Mix.churn, 1024);
-      (Workload.Shape.Star 512, Workload.Mix.churn, 512);
-      (Workload.Shape.Caterpillar 512, Workload.Mix.shrink_heavy, 512);
-    ]
 
 (* ------------------------------------------------------------------ *)
 (* E9: Corollary 5.7 - dynamic ancestry labeling                       *)
 
-let e9 () =
-  section "E9" "Corollary 5.7: ancestry labels stay log n + O(1) bits under churn";
-  Format.printf "%6s %9s %8s %10s %12s %12s %14s@." "n0" "changes" "n" "relabels"
+let e9 ctx =
+  section ctx "E9" "Corollary 5.7: ancestry labels stay log n + O(1) bits under churn";
+  printf ctx "%6s %9s %8s %10s %12s %12s %14s@." "n0" "changes" "n" "relabels"
     "label bits" "2 log n" "messages";
-  List.iter
-    (fun n0 ->
+  rows ctx [ 64; 128; 256; 512; 1024 ] (fun row n0 ->
       let changes = 2 * n0 in
       let rng = Rng.create ~seed:(120 + n0) in
       let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
@@ -459,54 +499,52 @@ let e9 () =
       for _ = 1 to changes do
         Estimator.Ancestry_labeling.submit al (Workload.next_op wl tree)
       done;
-      Results.note ~messages:(Estimator.Ancestry_labeling.messages al)
+      note row ~messages:(Estimator.Ancestry_labeling.messages al)
         ~bits:(Estimator.Ancestry_labeling.label_bits al) ();
-      Format.printf "%6d %9d %8d %10d %12d %12d %14s@." n0 changes (Dtree.size tree)
+      printf row "%6d %9d %8d %10d %12d %12d %14s@." n0 changes (Dtree.size tree)
         (Estimator.Ancestry_labeling.relabels al)
         (Estimator.Ancestry_labeling.label_bits al)
         (2 * Stats.ceil_log2 (max 2 (Dtree.size tree)))
         (Stats.pretty_int (Estimator.Ancestry_labeling.messages al)))
-    [ 64; 128; 256; 512; 1024 ]
 
 (* ------------------------------------------------------------------ *)
 (* E10: Claim 4.8 - whiteboard memory                                  *)
 
-let e10 () =
-  section "E10" "Claim 4.8: whiteboard memory O(deg(v) log N + log^3 N + log^2 U) bits";
-  Format.printf "%20s %6s %14s %14s@." "shape" "n0" "max wb bits" "claim bound";
-  List.iter
-    (fun (shape, n0) ->
-      let m = n0 and w = max 1 (n0 / 8) in
-      let requests = n0 in
-      let stats =
-        Dist_harness.run ~seed:(130 + n0) ~concurrency:8 ?scheduler:!scheduler ~shape
-          ~mix:Workload.Mix.churn ~m ~w ~requests ()
-      in
-      let nmax = n0 + requests in
-      let log_n = Stats.ceil_log2 (max 2 nmax) and log_u = Stats.ceil_log2 (max 2 nmax) in
-      (* the queue term deg(v) log N is bounded by concurrency here *)
-      let bound = (16 * log_n) + (log_n * log_n * log_n) + (log_u * log_u) in
-      Results.note ~messages:stats.Dist_harness.messages
-        ~bits:stats.Dist_harness.max_wb_bits ();
-      Format.printf "%20s %6d %14d %14d@." (Workload.Shape.name shape) n0
-        stats.Dist_harness.max_wb_bits bound)
+let e10 ctx =
+  section ctx "E10" "Claim 4.8: whiteboard memory O(deg(v) log N + log^3 N + log^2 U) bits";
+  printf ctx "%20s %6s %14s %14s@." "shape" "n0" "max wb bits" "claim bound";
+  rows ctx
     [
       (Workload.Shape.Random 256, 256);
       (Workload.Shape.Star 256, 256);
       (Workload.Shape.Path 256, 256);
       (Workload.Shape.Random 1024, 1024);
     ]
+    (fun row (shape, n0) ->
+      let m = n0 and w = max 1 (n0 / 8) in
+      let requests = n0 in
+      let stats =
+        Dist_harness.run ~seed:(130 + n0) ~concurrency:8 ?scheduler:row.scheduler
+          ~shape ~mix:Workload.Mix.churn ~m ~w ~requests ()
+      in
+      let nmax = n0 + requests in
+      let log_n = Stats.ceil_log2 (max 2 nmax) and log_u = Stats.ceil_log2 (max 2 nmax) in
+      (* the queue term deg(v) log N is bounded by concurrency here *)
+      let bound = (16 * log_n) + (log_n * log_n * log_n) + (log_u * log_u) in
+      note row ~messages:stats.Dist_harness.messages
+        ~bits:stats.Dist_harness.max_wb_bits ();
+      printf row "%20s %6d %14d %14d@." (Workload.Shape.name shape) n0
+        stats.Dist_harness.max_wb_bits bound)
 
 (* ------------------------------------------------------------------ *)
 (* E11: Section 5.4 - extended labeling schemes (routing, NCA, distance) *)
 
-let e11 () =
-  section "E11" "Section 5.4: routing, NCA and distance labeling under controlled dynamics";
-  Format.printf "%10s %6s %9s %12s %12s %12s %10s@." "scheme" "n0" "changes"
+let e11 ctx =
+  section ctx "E11" "Section 5.4: routing, NCA and distance labeling under controlled dynamics";
+  printf ctx "%10s %6s %9s %12s %12s %12s %10s@." "scheme" "n0" "changes"
     "label bits" "bound-ish" "messages" "relabels";
   (* routing and NCA under churn *)
-  List.iter
-    (fun n0 ->
+  rows ctx [ 128; 512 ] (fun row n0 ->
       let changes = 2 * n0 in
       let rng = Rng.create ~seed:(140 + n0) in
       let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
@@ -515,16 +553,14 @@ let e11 () =
       for _ = 1 to changes do
         Estimator.Tree_routing.submit tr (Workload.next_op wl tree)
       done;
-      Results.note ~messages:(Estimator.Tree_routing.messages tr)
+      note row ~messages:(Estimator.Tree_routing.messages tr)
         ~bits:(Estimator.Tree_routing.address_bits tr) ();
-      Format.printf "%10s %6d %9d %12d %12d %12s %10d@." "routing" n0 changes
+      printf row "%10s %6d %9d %12d %12d %12s %10d@." "routing" n0 changes
         (Estimator.Tree_routing.address_bits tr)
         (2 * Stats.ceil_log2 (max 2 (Dtree.size tree)))
         (Stats.pretty_int (Estimator.Tree_routing.messages tr))
-        (Estimator.Tree_routing.relabels tr))
-    [ 128; 512 ];
-  List.iter
-    (fun n0 ->
+        (Estimator.Tree_routing.relabels tr));
+  rows ctx [ 128; 512 ] (fun row n0 ->
       let changes = 2 * n0 in
       let rng = Rng.create ~seed:(150 + n0) in
       let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
@@ -542,57 +578,53 @@ let e11 () =
       for _ = 1 to changes do
         Estimator.Nca_labeling.submit nl (Workload.next_op wl tree)
       done;
-      Results.note ~messages:(Estimator.Nca_labeling.messages nl)
+      note row ~messages:(Estimator.Nca_labeling.messages nl)
         ~bits:(Estimator.Nca_labeling.max_label_bits nl) ();
-      Format.printf "%10s %6d %9d %12d %12d %12s %10d@." "nca" n0 changes
+      printf row "%10s %6d %9d %12d %12d %12s %10d@." "nca" n0 changes
         (Estimator.Nca_labeling.max_label_bits nl)
         (let lg = Stats.ceil_log2 (max 2 (Dtree.size tree)) in
          2 * lg * (lg + 1))
         (Stats.pretty_int (Estimator.Nca_labeling.messages nl))
-        (Estimator.Nca_labeling.relabels nl))
-    [ 128; 512 ];
+        (Estimator.Nca_labeling.relabels nl));
   (* distance labels under pure shrinking, the corollary's scope *)
-  List.iter
-    (fun n0 ->
+  rows ctx [ 128; 512 ] (fun row n0 ->
       let rng = Rng.create ~seed:(160 + n0) in
       let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
       let dl = Estimator.Distance_labeling.create ~tree () in
       let deleted = ref 0 in
       while Dtree.size tree > n0 / 8 do
-        match Dtree.leaves tree with
-        | leaf :: _ when leaf <> Dtree.root tree ->
-            Estimator.Distance_labeling.submit dl (Workload.Remove_leaf leaf);
-            incr deleted
-        | _ -> ()
+        let leaf = Dtree.any_leaf tree in
+        if leaf <> Dtree.root tree then begin
+          Estimator.Distance_labeling.submit dl (Workload.Remove_leaf leaf);
+          incr deleted
+        end
       done;
-      Results.note ~messages:(Estimator.Distance_labeling.messages dl)
+      note row ~messages:(Estimator.Distance_labeling.messages dl)
         ~bits:(Estimator.Distance_labeling.max_label_bits dl) ();
-      Format.printf "%10s %6d %9d %12d %12d %12s %10d@." "distance" n0 !deleted
+      printf row "%10s %6d %9d %12d %12d %12s %10d@." "distance" n0 !deleted
         (Estimator.Distance_labeling.max_label_bits dl)
         (let lg = Stats.ceil_log2 (max 2 (Dtree.size tree)) in
          2 * lg * (lg + 1))
         (Stats.pretty_int (Estimator.Distance_labeling.messages dl))
         (Estimator.Distance_labeling.relabels dl))
-    [ 128; 512 ]
 
 (* ------------------------------------------------------------------ *)
 (* E12: ablation - the psi geometry of Section 3.1                      *)
 
-let e12 () =
-  section "E12" "ablation: scaling the paper's psi distance unit";
-  Format.printf
+let e12 ctx =
+  section ctx "E12" "ablation: scaling the paper's psi distance unit";
+  printf ctx
     "deep path (4096), grow-only deep-biased, M = 2048, W = M/2, single fixed-U@.";
-  Format.printf
+  printf ctx
     "controller run to exhaustion. Shrinking psi cheapens walks but voids the@.";
-  Format.printf
+  printf ctx
     "waste analysis (liveness window can break); growing it degrades towards the@.";
-  Format.printf "trivial root-walk controller@.@.";
-  Format.printf "%10s %8s %12s %12s %12s %14s@." "psi scale" "psi" "moves" "granted"
+  printf ctx "trivial root-walk controller@.@.";
+  printf ctx "%10s %8s %12s %12s %12s %14s@." "psi scale" "psi" "moves" "granted"
     "leftover" "window kept";
   let n0 = 4096 and m = 2048 in
   let w = m / 2 in
-  List.iter
-    (fun scale ->
+  rows ctx [ 0.25; 0.5; 1.0; 2.0; 4.0 ] (fun row scale ->
       let rng = Rng.create ~seed:171 in
       let tree = Workload.Shape.build rng (Workload.Shape.Path n0) in
       let u = n0 + m + 64 in
@@ -606,35 +638,32 @@ let e12 () =
         | Types.Exhausted -> exhausted := true
         | Types.Rejected -> assert false
       done;
-      Results.note ~moves:(Central.moves c) ();
-      Format.printf "%10.2f %8d %12s %12d %12d %14s@." scale params.Params.psi
+      note row ~moves:(Central.moves c) ();
+      printf row "%10.2f %8d %12s %12d %12d %14s@." scale params.Params.psi
         (Stats.pretty_int (Central.moves c))
         (Central.granted c) (Central.leftover c)
         (if Central.granted c >= m - w then "yes" else "NO"))
-    [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
 
 (* ------------------------------------------------------------------ *)
 (* E13: ablation - request concurrency in the distributed controller   *)
 
-let e13 () =
-  section "E13" "ablation: distributed request concurrency";
-  Format.printf
+let e13 ctx =
+  section ctx "E13" "ablation: distributed request concurrency";
+  printf ctx
     "churn, n0 = 256, M = 512 (ample); lock waiting costs time, not messages:@.";
-  Format.printf "message counts stay flat while completion time drops@.@.";
-  Format.printf "%12s %10s %12s %12s@." "concurrency" "granted" "messages" "sim time";
-  List.iter
-    (fun conc ->
+  printf ctx "message counts stay flat while completion time drops@.@.";
+  printf ctx "%12s %10s %12s %12s@." "concurrency" "granted" "messages" "sim time";
+  rows ctx [ 1; 2; 4; 8; 16; 32 ] (fun row conc ->
       let stats =
-        Dist_harness.run ~seed:181 ~concurrency:conc ?scheduler:!scheduler
+        Dist_harness.run ~seed:181 ~concurrency:conc ?scheduler:row.scheduler
           ~shape:(Workload.Shape.Random 256)
           ~mix:Workload.Mix.churn ~m:512 ~w:64 ~requests:400 ()
       in
-      Results.note ~messages:stats.Dist_harness.messages
+      note row ~messages:stats.Dist_harness.messages
         ~bits:stats.Dist_harness.total_bits ();
-      Format.printf "%12d %10d %12s %12s@." conc stats.Dist_harness.granted
+      printf row "%12d %10d %12s %12s@." conc stats.Dist_harness.granted
         (Stats.pretty_int stats.Dist_harness.messages)
         (Stats.pretty_int stats.Dist_harness.sim_time))
-    [ 1; 2; 4; 8; 16; 32 ]
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);

@@ -3,6 +3,7 @@
 
      dune exec bin/ctrl_sim.exe -- run --controller adaptive --shape random \
        --n0 256 --requests 2000 --mix churn --budget 1024 --waste 64
+     dune exec bin/ctrl_sim.exe -- run --controller dist --seeds 8 -j 4
      dune exec bin/ctrl_sim.exe -- size-est --n0 200 --changes 1000 --beta 2.0
      dune exec bin/ctrl_sim.exe -- names --n0 200 --changes 1000
      dune exec bin/ctrl_sim.exe -- trace capture --out /tmp/x.trace --steps 500
@@ -73,34 +74,69 @@ let trace_out_arg =
        & info [ "trace-out" ] ~docv:"FILE"
            ~doc:"write the structured event trace (JSONL, one event per line) to $(docv)")
 
-(* Only build a sink when at least one output was requested, so the default
-   path keeps the controllers' allocation-free no-telemetry guarantee. *)
-let make_sink metrics_out trace_out =
-  match (metrics_out, trace_out) with
-  | None, None -> None
-  | _ -> Some (Telemetry.Sink.create ())
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"run independent seeds over $(docv) domains (0 = take \
+                 $(b,DYNNET_JOBS), default 1); results are printed in seed \
+                 order and are identical to a sequential run")
 
-let flush_sink sink metrics_out trace_out =
-  match sink with
-  | None -> ()
-  | Some s ->
+let seeds_arg =
+  Arg.(value & opt int 1
+       & info [ "seeds" ] ~docv:"K"
+           ~doc:"run the scenario for $(docv) consecutive seeds starting at \
+                 --seed; with --trace-out the per-seed traces go to \
+                 FILE.<seed>, with --metrics-out the per-seed registries are \
+                 merged into one dump")
+
+let effective_jobs j = if j <= 0 then Pool.default_jobs () else j
+
+(* Build the sink for one task: a metrics registry always, plus a streaming
+   JSONL channel when a trace was requested — [Sink.to_channel], so an
+   arbitrarily long trace keeps O(1) heap instead of pinning every event
+   until the end of the run. [f sink] runs the task; the trace channel is
+   flushed and closed afterwards, and the trace line is reported to [ppf]. *)
+let with_sink ~metrics_out ~trace_out ppf f =
+  match (metrics_out, trace_out) with
+  | None, None ->
+      (* no sink at all: the instrumented layers keep their allocation-free
+         no-telemetry fast path *)
+      f None;
+      None
+  | _ ->
+      let channel = Option.map (fun path -> (path, open_out path)) trace_out in
+      let sink =
+        match channel with
+        | Some (_, oc) -> Telemetry.Sink.to_channel oc
+        | None -> Telemetry.Sink.create ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.Sink.flush sink;
+          Option.iter (fun (_, oc) -> close_out oc) channel)
+        (fun () -> f (Some sink));
       Option.iter
-        (fun path ->
-          Telemetry.Export.write_file path
-            (Telemetry.Export.prometheus (Telemetry.Sink.metrics s));
-          Format.printf "metrics dump     %s@." path)
-        metrics_out;
-      Option.iter
-        (fun path ->
-          Telemetry.Sink.write_jsonl s path;
-          Format.printf "event trace      %s (%d events)@." path
-            (Telemetry.Sink.event_count s))
-        trace_out
+        (fun (path, _) ->
+          Format.fprintf ppf "event trace      %s (%d events)@." path
+            (Telemetry.Sink.event_count sink))
+        channel;
+      Some (Telemetry.Sink.metrics sink)
+
+let dump_metrics metrics_out registries =
+  Option.iter
+    (fun path ->
+      let merged = Telemetry.Metrics.create () in
+      List.iter
+        (Option.iter (fun m -> Telemetry.Metrics.merge ~into:merged m))
+        registries;
+      Telemetry.Export.write_file path (Telemetry.Export.prometheus merged);
+      Format.printf "metrics dump     %s@." path)
+    metrics_out
 
 (* ------------------------------------------------------------------ *)
 (* run: controllers                                                    *)
 
-let run_centralized request moves tree ~seed ~mix ~requests =
+let run_centralized ppf request moves tree ~seed ~mix ~requests =
   let wl = Workload.make ~seed ~mix () in
   let granted = ref 0 and rejected = ref 0 in
   for _ = 1 to requests do
@@ -108,27 +144,25 @@ let run_centralized request moves tree ~seed ~mix ~requests =
     | Types.Granted -> incr granted
     | Types.Rejected | Types.Exhausted -> incr rejected
   done;
-  Format.printf "granted          %s@." (Stats.pretty_int !granted);
-  Format.printf "rejected         %s@." (Stats.pretty_int !rejected);
-  Format.printf "move complexity  %s@." (Stats.pretty_int (moves ()));
-  Format.printf "final size       %s@." (Stats.pretty_int (Dtree.size tree))
+  Format.fprintf ppf "granted          %s@." (Stats.pretty_int !granted);
+  Format.fprintf ppf "rejected         %s@." (Stats.pretty_int !rejected);
+  Format.fprintf ppf "move complexity  %s@." (Stats.pretty_int (moves ()));
+  Format.fprintf ppf "final size       %s@." (Stats.pretty_int (Dtree.size tree))
 
-let run_main verbose kind_s shape_s mix_s n0 requests m w seed scheduler metrics_out
-    trace_out =
-  setup_logs verbose;
-  let mix = mix_of mix_s in
+(* One complete scenario for one seed: builds its own tree, controller,
+   network and sink, so any number of these can run on pool domains at
+   once. *)
+let run_one ppf ~kind_s ~shape_s ~mix ~n0 ~requests ~m ~w ~scheduler ~sink ~seed =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
   let u = n0 + requests in
-  let sink = make_sink metrics_out trace_out in
-  Format.printf "controller=%s shape=%s mix=%s n0=%d requests=%d M=%d W=%d U=%d@.@."
-    kind_s shape_s mix_s n0 requests m w u;
-  (match kind_s with
+  match kind_s with
   | "central" ->
       let c =
         Central.create ?telemetry:sink ~params:(Params.make ~m ~w:(max 1 w) ~u) ~tree ()
       in
-      run_centralized (Central.request c) (fun () -> Central.moves c) tree ~seed ~mix ~requests
+      run_centralized ppf (Central.request c) (fun () -> Central.moves c) tree ~seed ~mix
+        ~requests
   | "iterated" ->
       let c =
         match sink with
@@ -140,18 +174,20 @@ let run_main verbose kind_s shape_s mix_s n0 requests m w seed scheduler metrics
                   ~params:(Params.make ~m ~w ~u) ~tree ())
               ~m ~w ~tree ()
       in
-      run_centralized (Iterated.request c) (fun () -> Iterated.moves c) tree ~seed ~mix ~requests
+      run_centralized ppf (Iterated.request c) (fun () -> Iterated.moves c) tree ~seed
+        ~mix ~requests
   | "adaptive" ->
       let c = Adaptive.create ?telemetry:sink ~m ~w ~tree () in
-      run_centralized (Adaptive.request c) (fun () -> Adaptive.moves c) tree ~seed ~mix ~requests
+      run_centralized ppf (Adaptive.request c) (fun () -> Adaptive.moves c) tree ~seed
+        ~mix ~requests
   | "trivial" ->
       let c = Baseline_trivial.create ~m ~tree in
-      run_centralized (Baseline_trivial.request c)
+      run_centralized ppf (Baseline_trivial.request c)
         (fun () -> Baseline_trivial.moves c)
         tree ~seed ~mix ~requests
   | "aaps" ->
       let c = Baseline_aaps.Iterated.create ~m ~w ~u ~tree () in
-      run_centralized
+      run_centralized ppf
         (Baseline_aaps.Iterated.request c)
         (fun () -> Baseline_aaps.Iterated.moves c)
         tree ~seed ~mix ~requests
@@ -160,19 +196,56 @@ let run_main verbose kind_s shape_s mix_s n0 requests m w seed scheduler metrics
         Dist_harness.run ~seed ?scheduler ?sink ~shape:(shape_of ~n:n0 shape_s) ~mix ~m
           ~w ~requests ()
       in
-      Format.printf "%a@." Dist_harness.pp_stats stats
+      Format.fprintf ppf "%a@." Dist_harness.pp_stats stats
   | "dist-adaptive" ->
       let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
       let da = Dist_adaptive.create ~m ~w ~net () in
       let g, r, _ =
         Dist_harness.run_on ~seed ~net ~mix ~requests ~submit:(Dist_adaptive.submit da) ()
       in
-      Format.printf "granted %d rejected %d epochs %d messages %s (+%s overhead)@." g r
+      Format.fprintf ppf "granted %d rejected %d epochs %d messages %s (+%s overhead)@."
+        g r
         (Dist_adaptive.epochs da)
         (Stats.pretty_int (Net.messages net))
         (Stats.pretty_int (Dist_adaptive.overhead_messages da))
-  | s -> invalid_arg ("unknown controller: " ^ s));
-  flush_sink sink metrics_out trace_out;
+  | s -> invalid_arg ("unknown controller: " ^ s)
+
+let run_main verbose kind_s shape_s mix_s n0 requests m w seed seeds jobs scheduler
+    metrics_out trace_out =
+  setup_logs verbose;
+  if seeds < 1 then invalid_arg "--seeds must be >= 1";
+  let mix = mix_of mix_s in
+  Format.printf "controller=%s shape=%s mix=%s n0=%d requests=%d M=%d W=%d U=%d@.@."
+    kind_s shape_s mix_s n0 requests m w (n0 + requests);
+  (* Each seed is an independent simulation with its own tree, network and
+     sink, rendered into its own buffer — so the seeds fan out over the pool
+     and the combined output is identical to a sequential run. *)
+  let run_seed sd =
+    let buf = Buffer.create 512 in
+    let ppf = Format.formatter_of_buffer buf in
+    let trace_out =
+      Option.map
+        (fun p -> if seeds = 1 then p else Printf.sprintf "%s.%d" p sd)
+        trace_out
+    in
+    let registry =
+      with_sink ~metrics_out ~trace_out ppf (fun sink ->
+          run_one ppf ~kind_s ~shape_s ~mix ~n0 ~requests ~m ~w ~scheduler ~sink
+            ~seed:sd)
+    in
+    Format.pp_print_flush ppf ();
+    (sd, Buffer.contents buf, registry)
+  in
+  let outcomes =
+    Pool.map ~jobs:(effective_jobs jobs) run_seed
+      (List.init seeds (fun i -> seed + i))
+  in
+  List.iter
+    (fun (sd, text, _) ->
+      if seeds > 1 then Format.printf "--- seed %d ---@." sd;
+      Format.printf "%s" text)
+    outcomes;
+  dump_metrics metrics_out (List.map (fun (_, _, r) -> r) outcomes);
   0
 
 let run_cmd =
@@ -185,8 +258,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"run an (M,W)-controller on a generated scenario")
     Term.(const run_main $ verbose_arg $ kind $ shape_arg $ mix_arg $ n0_arg $ requests
-          $ budget_arg $ waste_arg $ seed_arg $ scheduler_arg $ metrics_out_arg
-          $ trace_out_arg)
+          $ budget_arg $ waste_arg $ seed_arg $ seeds_arg $ jobs_arg $ scheduler_arg
+          $ metrics_out_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* size-est and names: the Section 5 protocols                         *)
@@ -218,20 +291,22 @@ let drive_estimator ~seed ~mix ~changes ~net ~tree ~submit =
 let size_est_main shape_s mix_s n0 changes beta seed scheduler metrics_out trace_out =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
-  let sink = make_sink metrics_out trace_out in
-  let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
-  let se = Estimator.Size_estimation.create ~beta ~net () in
-  drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
-    ~submit:(Estimator.Size_estimation.submit se);
-  Format.printf
-    "size estimation: %d changes, %d epochs, estimate %d vs true %d, %s messages (+%s overhead)@."
-    (Estimator.Size_estimation.changes se)
-    (Estimator.Size_estimation.epochs se)
-    (Estimator.Size_estimation.estimate se (Dtree.root tree))
-    (Dtree.size tree)
-    (Stats.pretty_int (Net.messages net))
-    (Stats.pretty_int (Estimator.Size_estimation.overhead_messages se));
-  flush_sink sink metrics_out trace_out;
+  let registry =
+    with_sink ~metrics_out ~trace_out Format.std_formatter (fun sink ->
+        let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
+        let se = Estimator.Size_estimation.create ~beta ~net () in
+        drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
+          ~submit:(Estimator.Size_estimation.submit se);
+        Format.printf
+          "size estimation: %d changes, %d epochs, estimate %d vs true %d, %s messages (+%s overhead)@."
+          (Estimator.Size_estimation.changes se)
+          (Estimator.Size_estimation.epochs se)
+          (Estimator.Size_estimation.estimate se (Dtree.root tree))
+          (Dtree.size tree)
+          (Stats.pretty_int (Net.messages net))
+          (Stats.pretty_int (Estimator.Size_estimation.overhead_messages se)))
+  in
+  dump_metrics metrics_out [ registry ];
   0
 
 let size_est_cmd =
@@ -245,21 +320,23 @@ let size_est_cmd =
 let names_main shape_s mix_s n0 changes seed scheduler metrics_out trace_out =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
-  let sink = make_sink metrics_out trace_out in
-  let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
-  let na = Estimator.Name_assignment.create ~net () in
-  drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
-    ~submit:(Estimator.Name_assignment.submit na);
-  let ids = Estimator.Name_assignment.ids na in
-  let max_id = List.fold_left (fun acc (_, i) -> max acc i) 0 ids in
-  Format.printf
-    "name assignment: %d nodes named in [1, %d] (max ever ratio %.2f <= 4), %d epochs, %s messages (+%s overhead)@."
-    (List.length ids) max_id
-    (Estimator.Name_assignment.max_id_ever_ratio na)
-    (Estimator.Name_assignment.epochs na)
-    (Stats.pretty_int (Net.messages net))
-    (Stats.pretty_int (Estimator.Name_assignment.overhead_messages na));
-  flush_sink sink metrics_out trace_out;
+  let registry =
+    with_sink ~metrics_out ~trace_out Format.std_formatter (fun sink ->
+        let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
+        let na = Estimator.Name_assignment.create ~net () in
+        drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
+          ~submit:(Estimator.Name_assignment.submit na);
+        let ids = Estimator.Name_assignment.ids na in
+        let max_id = List.fold_left (fun acc (_, i) -> max acc i) 0 ids in
+        Format.printf
+          "name assignment: %d nodes named in [1, %d] (max ever ratio %.2f <= 4), %d epochs, %s messages (+%s overhead)@."
+          (List.length ids) max_id
+          (Estimator.Name_assignment.max_id_ever_ratio na)
+          (Estimator.Name_assignment.epochs na)
+          (Stats.pretty_int (Net.messages net))
+          (Stats.pretty_int (Estimator.Name_assignment.overhead_messages na)))
+  in
+  dump_metrics metrics_out [ registry ];
   0
 
 let names_cmd =

@@ -199,6 +199,19 @@ let leaves t =
     (fun v e acc -> if e.live && Hashtbl.length e.children = 0 then v :: acc else acc)
     t.nodes []
 
+let any_leaf t =
+  let exception Found of node in
+  let first_child e =
+    try
+      Hashtbl.iter (fun c () -> raise (Found c)) e.children;
+      None
+    with Found c -> Some c
+  in
+  let rec descend v =
+    match first_child (entry t v) with None -> v | Some c -> descend c
+  in
+  descend 0
+
 let internal_nodes t =
   Hashtbl.fold
     (fun v e acc ->

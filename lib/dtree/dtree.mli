@@ -96,6 +96,13 @@ val live_nodes : t -> node list
 
 val leaves : t -> node list
 
+val any_leaf : t -> node
+(** Some live leaf, found by descending from the root — O(depth), unlike
+    [List.hd (leaves t)] which folds over every node ever created. Returns
+    the root itself when the tree is a singleton. Deterministic for a given
+    tree history (child choice follows hash-table order, which is a function
+    of the insertion sequence). *)
+
 val internal_nodes : t -> node list
 (** Live non-root nodes of tree degree > 1 (removable as internal nodes). *)
 

@@ -5,19 +5,19 @@ type run = {
   reorders : int;
 }
 
-let sweep ?(disciplines = Scheduler.defaults) ~seeds scenario =
-  List.concat_map
-    (fun discipline ->
-      List.map
-        (fun seed ->
-          let violations, reorders =
-            try scenario ~discipline ~seed
-            with exn ->
-              ([ Printf.sprintf "exception: %s" (Printexc.to_string exn) ], 0)
-          in
-          { discipline; seed; violations; reorders })
-        seeds)
-    disciplines
+let sweep ?jobs ?(disciplines = Scheduler.defaults) ~seeds scenario =
+  (* Every (discipline, seed) cell is an independent simulation — the
+     scenario builds its own [Net] from them — so the cells fan out across
+     the pool; [Pool.map] preserves input order, making the result list
+     bit-identical to a sequential sweep. *)
+  List.concat_map (fun d -> List.map (fun s -> (d, s)) seeds) disciplines
+  |> Pool.map ?jobs (fun (discipline, seed) ->
+         let violations, reorders =
+           try scenario ~discipline ~seed
+           with exn ->
+             ([ Printf.sprintf "exception: %s" (Printexc.to_string exn) ], 0)
+         in
+         { discipline; seed; violations; reorders })
 
 let failures runs = List.filter (fun r -> r.violations <> []) runs
 let reorder_free runs = List.for_all (fun r -> r.reorders = 0) runs

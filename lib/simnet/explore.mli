@@ -19,6 +19,7 @@ type run = {
 }
 
 val sweep :
+  ?jobs:int ->
   ?disciplines:Scheduler.discipline list ->
   seeds:int list ->
   (discipline:Scheduler.discipline -> seed:int -> string list * int) ->
@@ -27,7 +28,12 @@ val sweep :
     {!Scheduler.defaults}) and collect the outcomes. The scenario returns
     its violation list and the network's final reorder count. An exception
     escaping the scenario is recorded as a violation rather than aborting
-    the sweep. *)
+    the sweep.
+
+    [jobs] (default [Pool.default_jobs ()], i.e. [$DYNNET_JOBS] or 1) fans
+    the cells out over a domain pool. Each scenario invocation owns its
+    network, tree and RNG, so the returned list — order included — is
+    identical whatever the parallelism. *)
 
 val failures : run list -> run list
 (** The runs that reported at least one violation. *)

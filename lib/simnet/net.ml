@@ -20,9 +20,14 @@ type t = {
   sched : Scheduler.t;
   events : event Event_queue.t;
   forwards : (node, node) Hashtbl.t;  (* deleted node -> adopting parent *)
-  by_tag : (string, int) Hashtbl.t;
-  link_last : (Scheduler.link, int) Hashtbl.t;  (* last delivered sseq *)
-  link_reorders : (Scheduler.link, int) Hashtbl.t;
+  (* The per-tag/per-link tallies hold [int ref] cells so that the hot
+     found-path is a bare [incr] / [:=] — no [Some] box from [find_opt], no
+     bucket churn from [replace]. Together with the [sink = None] branches
+     below this keeps the no-telemetry send/deliver path allocation-free
+     beyond the message record itself. *)
+  by_tag : (string, int ref) Hashtbl.t;
+  link_last : (Scheduler.link, int ref) Hashtbl.t;  (* last delivered sseq *)
+  link_reorders : (Scheduler.link, int ref) Hashtbl.t;
   sink : Telemetry.Sink.t option;
   mutable clock : int;
   mutable send_seq : int;
@@ -90,11 +95,19 @@ let forward_hops t v =
   in
   count v 0
 
+let tally tbl key =
+  match Hashtbl.find tbl key with
+  | r -> r
+  | exception Not_found ->
+      let r = ref 0 in
+      Hashtbl.add tbl key r;
+      r
+
 let send t ~src ~addr ~tag ~bits k =
   t.message_count <- t.message_count + 1;
   t.bits_total <- t.bits_total + bits;
   if bits > t.bits_max then t.bits_max <- bits;
-  Hashtbl.replace t.by_tag tag (1 + Option.value ~default:0 (Hashtbl.find_opt t.by_tag tag));
+  incr (tally t.by_tag tag);
   (match t.sink with
   | None -> ()
   | Some s ->
@@ -146,15 +159,16 @@ let deliver t { src; maddr; tag; link; sseq; k } =
         | None -> (r, forwarded) (* the sender became the root: deliver locally *))
   in
   let reordered =
-    match Hashtbl.find_opt t.link_last link with
-    | Some prev when prev > sseq ->
-        Hashtbl.replace t.link_reorders link
-          (1 + Option.value ~default:0 (Hashtbl.find_opt t.link_reorders link));
-        t.reorder_count <- t.reorder_count + 1;
-        true
-    | Some _ | None ->
-        Hashtbl.replace t.link_last link sseq;
-        false
+    let last = tally t.link_last link in
+    if !last > sseq then begin
+      incr (tally t.link_reorders link);
+      t.reorder_count <- t.reorder_count + 1;
+      true
+    end
+    else begin
+      last := sseq;
+      false
+    end
   in
   (match t.sink with
   | None -> ()
@@ -183,12 +197,12 @@ let messages t = t.message_count
 let reorders t = t.reorder_count
 
 let reorders_by_link t =
-  Hashtbl.fold (fun link n acc -> (link, n) :: acc) t.link_reorders []
+  Hashtbl.fold (fun link n acc -> (link, !n) :: acc) t.link_reorders []
   |> List.sort (fun (a, _) (b, _) ->
          String.compare (Scheduler.link_to_string a) (Scheduler.link_to_string b))
 
 let messages_by_tag t =
-  Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) t.by_tag []
+  Hashtbl.fold (fun tag n acc -> (tag, !n) :: acc) t.by_tag []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let max_message_bits t = t.bits_max

@@ -73,6 +73,19 @@ let observe h v =
   h.count <- h.count + 1;
   h.sum <- h.sum + v
 
+let merge ~into src =
+  Hashtbl.iter
+    (fun (name, labels) r ->
+      match r.instrument with
+      | C c -> add (counter into ~labels ?help:r.help name) c.c
+      | G g -> max_gauge (gauge into ~labels ?help:r.help name) g.g
+      | H h ->
+          let d = histogram into ~labels ?help:r.help name in
+          Array.iteri (fun k n -> d.buckets.(k) <- d.buckets.(k) + n) h.buckets;
+          d.count <- d.count + h.count;
+          d.sum <- d.sum + h.sum)
+    src.table
+
 (* ------------------------------------------------------------------ *)
 (* snapshots                                                           *)
 

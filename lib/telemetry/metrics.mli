@@ -74,3 +74,12 @@ type entry = {
 
 val snapshot : t -> entry list
 (** All registered metrics, sorted by (name, labels). *)
+
+val merge : into:t -> t -> unit
+(** Fold one registry into another, instrument by instrument (matched on
+    name and label set, registering in [into] as needed): counters and
+    histogram buckets/count/sum add; gauges take the maximum (when joining
+    per-task registries the gauges in use are levels and high-water marks,
+    for which max is the meaningful combination). [src] is left untouched.
+    @raise Invalid_argument if a metric exists in both registries with
+    different instrument kinds. *)

@@ -1,24 +1,56 @@
-type t = {
-  metrics : Metrics.t;
-  on_event : (Event.t -> unit) option;
-  mutable rev_events : Event.t list;
-  mutable count : int;
-}
+type mode =
+  | Memory of { mutable rev_events : Event.t list }
+  | Callback of (Event.t -> unit)
+  | Channel of { oc : out_channel; buf : Buffer.t; flush_bytes : int }
+
+type t = { metrics : Metrics.t; mode : mode; mutable count : int }
+
+let default_flush_bytes = 64 * 1024
+
+let make ?metrics mode =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  { metrics; mode; count = 0 }
 
 let create ?metrics ?on_event () =
-  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
-  { metrics; on_event; rev_events = []; count = 0 }
+  make ?metrics
+    (match on_event with
+    | Some f -> Callback f
+    | None -> Memory { rev_events = [] })
+
+let to_channel ?metrics ?(flush_bytes = default_flush_bytes) oc =
+  let flush_bytes = max 1 flush_bytes in
+  make ?metrics
+    (Channel { oc; buf = Buffer.create (min flush_bytes default_flush_bytes); flush_bytes })
 
 let metrics t = t.metrics
 
 let event t ~time kind =
   let e = { Event.time; kind } in
   t.count <- t.count + 1;
-  match t.on_event with
-  | Some f -> f e
-  | None -> t.rev_events <- e :: t.rev_events
+  match t.mode with
+  | Memory m -> m.rev_events <- e :: m.rev_events
+  | Callback f -> f e
+  | Channel c ->
+      Buffer.add_string c.buf (Event.to_line e);
+      Buffer.add_char c.buf '\n';
+      if Buffer.length c.buf >= c.flush_bytes then begin
+        Buffer.output_buffer c.oc c.buf;
+        Buffer.clear c.buf
+      end
 
-let events t = List.rev t.rev_events
+let flush t =
+  match t.mode with
+  | Memory _ | Callback _ -> ()
+  | Channel c ->
+      Buffer.output_buffer c.oc c.buf;
+      Buffer.clear c.buf;
+      Stdlib.flush c.oc
+
+let events t =
+  match t.mode with
+  | Memory m -> List.rev m.rev_events
+  | Callback _ | Channel _ -> []
+
 let event_count t = t.count
 
 let to_jsonl t =

@@ -1,19 +1,40 @@
-(** The telemetry sink: one metrics registry plus an in-memory event trace.
+(** The telemetry sink: one metrics registry plus an event trace.
 
     A sink is what the instrumented layers ([Net], the controllers, the
     estimators) accept: when absent they skip all telemetry work (the no-sink
     path stays allocation-free); when present every instrumented behaviour
     increments metrics and appends one typed event.
 
-    Events accumulate in memory (reversed list, O(1) append) unless an
-    [on_event] callback is given, in which case they stream to the callback
-    {e instead} — for long runs that must not retain the trace. *)
+    Three trace modes:
+    - {e in-memory} (the {!create} default): events accumulate in a reversed
+      list, O(1) append, read back with {!events} / {!to_jsonl};
+    - {e callback} ([?on_event]): events are handed to the callback
+      {e instead} of being retained;
+    - {e channel} ({!to_channel}): events are serialized to JSONL through a
+      bounded write-through buffer (~64 KiB between flushes), so a trace of
+      any length keeps O(1) heap — the mode for long runs and for one sink
+      per parallel task.
+
+    Sinks are single-domain objects: under [Pool]-style parallelism give
+    each task its own sink and merge the registries afterwards with
+    {!Metrics.merge}. *)
 
 type t
 
 val create : ?metrics:Metrics.t -> ?on_event:(Event.t -> unit) -> unit -> t
-(** A fresh sink. [metrics] defaults to a new registry. With [on_event],
-    events are handed to the callback and not retained. *)
+(** A fresh in-memory sink. [metrics] defaults to a new registry. With
+    [on_event], events are handed to the callback and not retained. *)
+
+val to_channel : ?metrics:Metrics.t -> ?flush_bytes:int -> out_channel -> t
+(** A streaming sink: events are written to the channel as JSONL (one line
+    per event, as {!write_jsonl} would), buffered and flushed to the channel
+    every [flush_bytes] (default 64 KiB, the value is clamped to at least
+    1). Call {!flush} before reading the file or closing the channel; the
+    channel itself stays owned by the caller. *)
+
+val flush : t -> unit
+(** Push any buffered output of a {!to_channel} sink through to its channel
+    (including [Stdlib.flush] on the channel). A no-op on the other modes. *)
 
 val metrics : t -> Metrics.t
 
@@ -22,7 +43,7 @@ val event : t -> time:int -> Event.kind -> unit
 
 val events : t -> Event.t list
 (** The retained trace in chronological (append) order. Empty when streaming
-    through [on_event]. *)
+    through [on_event] or a channel. *)
 
 val event_count : t -> int
 (** Number of events recorded (retained or streamed). *)

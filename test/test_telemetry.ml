@@ -151,6 +151,96 @@ let test_jsonl_file_roundtrip () =
       Alcotest.(check int) "event count" (List.length sample_events) (List.length back);
       if back <> sample_events then Alcotest.fail "file round-trip changed the trace")
 
+(* A channel sink must write exactly what a memory sink would have rendered
+   with to_jsonl: same events back through read_jsonl, including the JSON
+   escaping edge cases in [sample_events], and it must retain nothing. *)
+let test_channel_sink_roundtrip () =
+  (* flush_bytes=32 forces many intermediate flushes; the default exercises
+     the single-flush-at-the-end path *)
+  List.iter
+    (fun flush_bytes ->
+      let path = Filename.temp_file "telemetry" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out path in
+          let sink = Telemetry.Sink.to_channel ?flush_bytes oc in
+          List.iter
+            (fun e -> Telemetry.Sink.event sink ~time:e.E.time e.E.kind)
+            sample_events;
+          Alcotest.(check int) "nothing retained" 0
+            (List.length (Telemetry.Sink.events sink));
+          Alcotest.(check int) "count" (List.length sample_events)
+            (Telemetry.Sink.event_count sink);
+          Telemetry.Sink.flush sink;
+          close_out oc;
+          let back = Telemetry.Sink.read_jsonl path in
+          if back <> sample_events then
+            Alcotest.fail "channel round-trip changed the trace";
+          (* byte-for-byte the same file a memory sink would have written *)
+          let mem = Telemetry.Sink.create () in
+          List.iter
+            (fun e -> Telemetry.Sink.event mem ~time:e.E.time e.E.kind)
+            sample_events;
+          let written =
+            In_channel.with_open_text path In_channel.input_all
+          in
+          Alcotest.(check string) "bytes equal to_jsonl"
+            (Telemetry.Sink.to_jsonl mem) written))
+    [ Some 32; None ]
+
+let test_channel_sink_multi_flush () =
+  (* a trace well past the 64 KiB default buffer crosses several flush
+     boundaries; every line must still come back intact *)
+  let n = 5_000 in
+  let path = Filename.temp_file "telemetry" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Telemetry.Sink.to_channel oc in
+      for i = 1 to n do
+        Telemetry.Sink.event sink ~time:i
+          (E.Custom { name = Printf.sprintf "tick\"%d\\n" i; value = i })
+      done;
+      Telemetry.Sink.flush sink;
+      close_out oc;
+      let back = Telemetry.Sink.read_jsonl path in
+      Alcotest.(check int) "all lines back" n (List.length back);
+      List.iteri
+        (fun i e ->
+          let i = i + 1 in
+          match e.E.kind with
+          | E.Custom { name; value } ->
+              Alcotest.(check int) "value" i value;
+              Alcotest.(check string) "name" (Printf.sprintf "tick\"%d\\n" i) name
+          | _ -> Alcotest.fail "wrong event kind")
+        back)
+
+let test_metrics_merge () =
+  (* counters and histograms add, gauges keep the max — merging two
+     registries equals feeding one registry both loads *)
+  let feed r base =
+    M.add (M.counter r "msgs") (10 + base);
+    M.add (M.counter r ~labels:[ ("tag", "up") ] "tagged") base;
+    M.max_gauge (M.gauge r "depth") (3 * base);
+    List.iter (M.observe (M.histogram r "lat")) [ base; 2 * base; 100 ]
+  in
+  let a = M.create () and b = M.create () and both = M.create () in
+  feed a 1;
+  feed b 5;
+  feed both 1;
+  feed both 5;
+  let merged = M.create () in
+  M.merge ~into:merged a;
+  M.merge ~into:merged b;
+  Alcotest.(check bool) "merge of two equals one fed both" true
+    (M.snapshot merged = M.snapshot both);
+  (* merging into an empty registry reproduces the source *)
+  let copy = M.create () in
+  M.merge ~into:copy a;
+  Alcotest.(check bool) "merge into empty copies" true (M.snapshot copy = M.snapshot a)
+
 let test_streaming_sink_retains_nothing () =
   let seen = ref 0 in
   let sink = Telemetry.Sink.create ~on_event:(fun _ -> incr seen) () in
@@ -264,6 +354,9 @@ let suite =
       Alcotest.test_case "re-registration shares" `Quick test_reregistration_shares_instrument;
       Alcotest.test_case "event json round-trip" `Quick test_event_roundtrip;
       Alcotest.test_case "jsonl file round-trip" `Quick test_jsonl_file_roundtrip;
+      Alcotest.test_case "channel sink round-trip" `Quick test_channel_sink_roundtrip;
+      Alcotest.test_case "channel sink multi-flush" `Quick test_channel_sink_multi_flush;
+      Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
       Alcotest.test_case "streaming sink" `Quick test_streaming_sink_retains_nothing;
       Alcotest.test_case "dist run matches net counters" `Quick
         test_dist_run_matches_net_counters;
