@@ -636,7 +636,7 @@ let e12 ctx =
         match Central.request c (Workload.next_op wl tree) with
         | Types.Granted -> ()
         | Types.Exhausted -> exhausted := true
-        | Types.Rejected -> assert false
+        | Types.Rejected -> assert false  (* dynlint: allow unsafe -- base controller runs in report mode and never rejects *)
       done;
       note row ~moves:(Central.moves c) ();
       printf row "%10.2f %8d %12s %12d %12d %14s@." scale params.Params.psi

@@ -129,7 +129,7 @@ let request t op =
         t.done_granted <- t.done_granted + Iterated.granted t.inner;
         t.m_i <- Iterated.leftover t.inner;
         reject t
-    | Types.Rejected -> assert false  (* inner runs in report mode *)
+    | Types.Rejected -> assert false  (* dynlint: allow unsafe -- inner runs in report mode, never rejects *)
 
 let moves t = t.done_moves + if t.dead then 0 else Iterated.moves t.inner
 let granted t = t.done_granted + if t.dead then 0 else Iterated.granted t.inner

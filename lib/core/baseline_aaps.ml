@@ -54,7 +54,7 @@ let supervisor t v =
   let i = ruler d in
   let target = d - (1 lsl i) in
   let rec climb w steps = if steps = 0 then w else
-    match Dtree.parent t.tree w with Some p -> climb p (steps - 1) | None -> assert false
+    match Dtree.parent t.tree w with Some p -> climb p (steps - 1) | None -> assert false  (* dynlint: allow unsafe -- climb stays within the supervisor's depth, so every parent exists *)
   in
   (climb v (d - target), i)
 

@@ -129,7 +129,7 @@ let apply_event t op =
       let s = store t v in
       (if not (Store.is_empty s) then
          match Dtree.parent t.tree v with
-         | None -> assert false
+         | None -> assert false  (* dynlint: allow unsafe -- removed nodes are never the root, so a parent exists *)
          | Some p ->
              with_tracker t (fun tr ->
                  List.iter (fun pkg -> Domain_tracker.host_moved tr pkg p) (Store.mobiles s));
@@ -171,7 +171,7 @@ let rec proc t ~u pkg ~d_w =
     let target =
       match Dtree.ancestor_at t.tree u td with
       | Some x -> x
-      | None -> assert false
+      | None -> assert false  (* dynlint: allow unsafe -- landing distance td < d_w <= depth u, so the ancestor exists *)
     in
     t.moves <- t.moves + (d_w - td);
     t.hooks.on_package_down ~requester:u ~from_dist:d_w ~to_dist:td

@@ -551,7 +551,13 @@ let snapshot t =
             levels := k :: !levels
           done)
         b.mobiles;
-      let levels = List.sort compare !levels in
+      let levels = List.sort Int.compare !levels in
       if levels = [] && b.static = 0 then acc else (v, levels, b.static) :: acc)
     t.wbs []
-  |> List.sort compare
+  |> List.sort (fun (v1, l1, s1) (v2, l2, s2) ->
+         match Int.compare v1 v2 with
+         | 0 -> (
+             match List.compare Int.compare l1 l2 with
+             | 0 -> Int.compare s1 s2
+             | c -> c)
+         | c -> c)

@@ -174,7 +174,7 @@ let rec route t r =
             (* park first: the rotation can complete synchronously *)
             Queue.push r t.held;
             trigger_rotation t ~main_exhausted:true
-        | Types.Rejected -> assert false)
+        | Types.Rejected -> assert false)  (* dynlint: allow unsafe -- main controller runs in report mode and never rejects *)
 
 and apply_trivial t r =
   (* no controller state to consult: apply as soon as the op is valid *)
@@ -201,7 +201,7 @@ and route_counter t r =
              Park first: the rotation can complete synchronously. *)
           Queue.push r t.held;
           trigger_rotation t ~main_exhausted:false
-      | Types.Rejected -> assert false)
+      | Types.Rejected -> assert false)  (* dynlint: allow unsafe -- counter runs in report mode and never rejects *)
 
 and trigger_rotation t ~main_exhausted =
   t.main_exhausted <- t.main_exhausted || main_exhausted;

@@ -43,7 +43,7 @@ let run_on ?(seed = 0xD1CE) ?(concurrency = 8) ~net ~mix ~requests ~submit () =
       | Some op ->
           incr submitted;
           let nodes =
-            List.sort_uniq compare
+            List.sort_uniq Int.compare
               (Workload.request_site tree op :: Workload.touched tree op)
           in
           List.iter reserve nodes;

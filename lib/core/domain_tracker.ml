@@ -77,7 +77,7 @@ let assign t (p : Package.t) ~host ~requester =
   for dist_from_host = size downto 1 do
     match Dtree.ancestor_at t.tree requester (d_host - dist_from_host) with
     | Some x -> nodes := x :: !nodes
-    | None -> assert false
+    | None -> assert false  (* dynlint: allow unsafe -- the host sits at depth d_host, so every shallower ancestor exists *)
   done;
   let nodes = !nodes in
   Hashtbl.replace t.doms p.id { level = p.level; nodes; host };
@@ -121,7 +121,7 @@ let on_add_internal t ~new_node ~child =
         (fun id ->
           let d = Hashtbl.find t.doms id in
           let rec insert = function
-            | [] -> assert false
+            | [] -> assert false  (* dynlint: allow unsafe -- child is always present in its domain's node list *)
             | x :: tl when x = child -> new_node :: x :: tl
             | x :: tl -> x :: insert tl
           in

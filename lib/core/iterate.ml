@@ -127,7 +127,7 @@ module Make (B : BASE) : S with type base = B.t = struct
         | Types.Granted -> Types.Granted
         | Types.Rejected ->
             (* Base controllers are run in report mode; they never reject. *)
-            assert false
+            assert false  (* dynlint: allow unsafe -- base controllers run in report mode and never reject *)
         | Types.Exhausted ->
             let l = B.leftover b in
             t.done_moves <- t.done_moves + B.moves b;

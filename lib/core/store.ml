@@ -61,7 +61,7 @@ let memory_bits t ~u ~n =
   let level_counter_bits =
     (* one O(log U)-bit counter per distinct level hosted *)
     let levels =
-      List.sort_uniq compare (List.map (fun (p : Package.t) -> p.level) t.mobiles)
+      List.sort_uniq Int.compare (List.map (fun (p : Package.t) -> p.level) t.mobiles)
     in
     List.length levels * log_u
   in

@@ -34,7 +34,7 @@ let request t op =
         t.terminated <- true;
         t.queued <- t.queued + 1;
         Terminated
-    | Types.Rejected -> assert false
+    | Types.Rejected -> assert false  (* dynlint: allow unsafe -- report mode: the wrapped controller never rejects *)
 
 let terminated t = t.terminated
 let granted t = Iterated.granted t.inner

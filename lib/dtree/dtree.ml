@@ -82,7 +82,7 @@ let remove_leaf t v =
     invalid_arg (Printf.sprintf "Dtree.remove_leaf: node %d is not a leaf" v);
   (match e.parent with
   | Some p -> Hashtbl.remove (entry t p).children v
-  | None -> assert false);
+  | None -> assert false);  (* dynlint: allow unsafe -- v is not the root, so it has a parent *)
   e.live <- false;
   e.parent <- None;
   t.live_count <- t.live_count - 1;
@@ -91,7 +91,7 @@ let remove_leaf t v =
 let add_internal t ~above =
   if above = 0 then invalid_arg "Dtree.add_internal: cannot insert above the root";
   let we = live_entry "add_internal" t above in
-  let v = match we.parent with Some p -> p | None -> assert false in
+  let v = match we.parent with Some p -> p | None -> assert false in  (* dynlint: allow unsafe -- above is not the root, so it has a parent *)
   let ve = entry t v in
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -118,7 +118,7 @@ let remove_internal t v =
   let e = live_entry "remove_internal" t v in
   if Hashtbl.length e.children = 0 then
     invalid_arg (Printf.sprintf "Dtree.remove_internal: node %d is a leaf" v);
-  let p = match e.parent with Some p -> p | None -> assert false in
+  let p = match e.parent with Some p -> p | None -> assert false in  (* dynlint: allow unsafe -- v is not the root, so it has a parent *)
   let pe = entry t p in
   Hashtbl.remove pe.children v;
   Hashtbl.iter
@@ -182,7 +182,7 @@ let is_ancestor t ~anc ~desc =
 let lowest_common_ancestor t u v =
   (* Lift both nodes to equal depth, then climb in lockstep. *)
   let du = depth t u and dv = depth t v in
-  let up w = match (entry t w).parent with Some p -> p | None -> assert false in
+  let up w = match (entry t w).parent with Some p -> p | None -> assert false in  (* dynlint: allow unsafe -- lift never climbs above the root: k <= depth w *)
   let rec lift w k = if k = 0 then w else lift (up w) (k - 1) in
   let u, v = if du >= dv then (lift u (du - dv), v) else (u, lift v (dv - du)) in
   let rec meet u v = if u = v then u else meet (up u) (up v) in
@@ -263,6 +263,6 @@ let check t =
 let pp ppf t =
   let rec go v d =
     Format.fprintf ppf "%s%d@." (String.make (2 * d) ' ') v;
-    List.iter (fun c -> go c (d + 1)) (List.sort compare (children t v))
+    List.iter (fun c -> go c (d + 1)) (List.sort Int.compare (children t v))
   in
   go 0 0

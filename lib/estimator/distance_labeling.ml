@@ -120,7 +120,7 @@ let create ~tree () =
   t.ctrl <- Some (make_ctrl t);
   t
 
-let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false
+let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false  (* dynlint: allow unsafe -- attach installs the controller before any use *)
 
 let rec submit t op =
   (match op with

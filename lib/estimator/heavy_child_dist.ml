@@ -1,6 +1,6 @@
 type t = { core : Heavy_core.t; mutable est : Subtree_estimator_dist.t option }
 
-let est_exn t = match t.est with Some e -> e | None -> assert false
+let est_exn t = match t.est with Some e -> e | None -> assert false  (* dynlint: allow unsafe -- attach installs the estimator before any use *)
 
 let create ?(beta = sqrt 3.0) ~net () =
   let core = Heavy_core.create ~tree:(Net.tree net) () in

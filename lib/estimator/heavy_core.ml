@@ -79,7 +79,7 @@ let on_applied t info =
   match info with
   | Workload.Leaf_added { leaf; _ } -> report t leaf (estimate t leaf)
   | Workload.Internal_added { below; fresh } ->
-      let p = match Dtree.parent t.tree fresh with Some p -> p | None -> assert false in
+      let p = match Dtree.parent t.tree fresh with Some p -> p | None -> assert false in  (* dynlint: allow unsafe -- fresh was spliced above below, so it has a parent *)
       let hp = reports_of t p in
       Hashtbl.remove hp below;
       if Hashtbl.find_opt t.mu p = Some below then Hashtbl.remove t.mu p;

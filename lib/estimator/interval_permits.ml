@@ -21,7 +21,7 @@ let create ~base ~m () =
 
 let deposit t node ints =
   match Hashtbl.find_opt t.deposits node with
-  | Some r -> r := List.merge compare !r ints
+  | Some r -> r := List.merge Int.compare !r ints
   | None -> Hashtbl.replace t.deposits node (ref ints)
 
 let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i)

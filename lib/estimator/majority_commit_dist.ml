@@ -91,7 +91,7 @@ let rec apply_join t ctrl r =
     let info = Workload.apply_info (tree t) op in
     (match info with
     | Workload.Leaf_added { leaf; _ } -> Hashtbl.replace t.votes leaf r.vote
-    | _ -> assert false);
+    | _ -> assert false);  (* dynlint: allow unsafe -- Add_leaf can only report Leaf_added *)
     Dist.note_applied ctrl info;
     t.applying <- t.applying - 1;
     t.joins <- t.joins + 1;
@@ -121,7 +121,7 @@ let rec route t r =
             | Types.Exhausted ->
                 Queue.push r t.held;
                 start_rotation t
-            | Types.Rejected -> assert false)
+            | Types.Rejected -> assert false)  (* dynlint: allow unsafe -- report mode: the controller never rejects *)
 
 and start_rotation t =
   if not t.rotating then begin

@@ -113,7 +113,7 @@ let rec route t r =
             (* park first: the rotation can complete synchronously *)
             Queue.push r t.held;
             start_rotation t
-        | Types.Rejected -> assert false)
+        | Types.Rejected -> assert false)  (* dynlint: allow unsafe -- report mode: the controller never rejects *)
 
 and start_rotation t =
   if not t.rotating then begin
@@ -151,8 +151,11 @@ let id t v =
   | Some i -> i
   | None -> invalid_arg (Printf.sprintf "Name_assignment.id: node %d has no identity" v)
 
+let compare_binding (v1, i1) (v2, i2) =
+  match Int.compare v1 v2 with 0 -> Int.compare i1 i2 | c -> c
+
 let ids t =
-  Hashtbl.fold (fun v i acc -> (v, i) :: acc) t.ids [] |> List.sort compare
+  Hashtbl.fold (fun v i acc -> (v, i) :: acc) t.ids [] |> List.sort compare_binding
 
 let epochs t = t.epochs
 let overhead_messages t = t.overhead

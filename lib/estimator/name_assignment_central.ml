@@ -33,7 +33,7 @@ let renumber t =
   t.done_moves <- t.done_moves + (4 * n);
   t.n_i <- n
 
-let tracker_exn t = match t.tracker with Some tr -> tr | None -> assert false
+let tracker_exn t = match t.tracker with Some tr -> tr | None -> assert false  (* dynlint: allow unsafe -- attach installs the tracker before any use *)
 
 let on_grant t info =
   match info with
@@ -90,7 +90,7 @@ let create ~tree () =
   t.ctrl <- Some (make_ctrl t);
   t
 
-let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false
+let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false  (* dynlint: allow unsafe -- attach installs the controller before any use *)
 
 let rec submit t op =
   let c = ctrl_exn t in
@@ -110,7 +110,11 @@ let id t v =
   | None ->
       invalid_arg (Printf.sprintf "Name_assignment_central.id: node %d has no identity" v)
 
-let ids t = Hashtbl.fold (fun v i acc -> (v, i) :: acc) t.ids [] |> List.sort compare
+let compare_binding (v1, i1) (v2, i2) =
+  match Int.compare v1 v2 with 0 -> Int.compare i1 i2 | c -> c
+
+let ids t =
+  Hashtbl.fold (fun v i acc -> (v, i) :: acc) t.ids [] |> List.sort compare_binding
 let epochs t = t.epochs
 let moves t = t.done_moves + Terminating.moves (ctrl_exn t)
 let max_id_ever_ratio t = t.max_ratio

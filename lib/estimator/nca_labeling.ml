@@ -113,7 +113,7 @@ let note_applied t info =
   | Workload.Internal_added _ | Workload.Internal_removed _ -> relabel t
   | Workload.Event_occurred _ -> ()
 
-let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false
+let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false  (* dynlint: allow unsafe -- attach installs the controller before any use *)
 
 let rec submit t op =
   let c = ctrl_exn t in

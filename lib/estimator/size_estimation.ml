@@ -96,7 +96,7 @@ let rec route t r =
                synchronously when this was the last outstanding request. *)
             Queue.push r t.held;
             start_rotation t
-        | Types.Rejected -> assert false)
+        | Types.Rejected -> assert false)  (* dynlint: allow unsafe -- report mode: the controller never rejects *)
 
 and start_rotation t =
   if not t.rotating then begin

@@ -34,7 +34,7 @@ let observe_package t ~requester ~from_dist ~to_dist ~size =
     | Some v ->
         Hashtbl.replace t.s v (get t.s v + size);
         t.on_change v
-    | None -> assert false
+    | None -> assert false  (* dynlint: allow unsafe -- d <= depth of requester, so the ancestor exists *)
   done
 
 (* Ground-truth super-weights: a fresh node starts its own and increments
@@ -119,7 +119,7 @@ let create ?(beta = sqrt 3.0) ?(on_change = fun _ -> ()) ?(on_epoch = fun () -> 
   start_epoch t;
   t
 
-let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false
+let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false  (* dynlint: allow unsafe -- attach installs the controller before any use *)
 
 let rec submit t op =
   let c = ctrl_exn t in

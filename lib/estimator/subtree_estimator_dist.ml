@@ -86,7 +86,7 @@ let create ?(beta = sqrt 3.0) ?(on_change = fun _ -> ()) ?(on_epoch = fun () -> 
   start_epoch t;
   t
 
-let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false
+let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false  (* dynlint: allow unsafe -- attach installs the controller before any use *)
 
 let note_applied t info =
   match info with
@@ -136,7 +136,7 @@ let rec route t r =
             (* park first: the rotation can complete synchronously *)
             Queue.push r t.held;
             start_rotation t
-        | Types.Rejected -> assert false)
+        | Types.Rejected -> assert false)  (* dynlint: allow unsafe -- report mode: the controller never rejects *)
 
 and start_rotation t =
   if not t.rotating then begin

@@ -15,7 +15,7 @@ let before a b =
   a.time < b.time
   || (a.time = b.time && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
 
-let get t i = match t.heap.(i) with Some e -> e | None -> assert false
+let get t i = match t.heap.(i) with Some e -> e | None -> assert false  (* dynlint: allow unsafe -- heap slots below the length are always populated *)
 
 let grow t =
   let cap = max 16 (2 * Array.length t.heap) in

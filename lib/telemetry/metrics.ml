@@ -19,7 +19,18 @@ type t = { table : (string * (string * string) list, registered) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 32 }
 
-let normalize_labels labels = List.sort compare labels
+let compare_label (k1, v1) (k2, v2) =
+  match String.compare k1 k2 with 0 -> String.compare v1 v2 | c -> c
+
+let rec compare_labels a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys -> (
+      match compare_label x y with 0 -> compare_labels xs ys | c -> c)
+
+let normalize_labels labels = List.sort compare_label labels
 
 let register t ~labels ~help name make cast =
   let key = (name, normalize_labels labels) in
@@ -118,4 +129,7 @@ let snapshot t =
       in
       { name; labels; help = r.help; value } :: acc)
     t.table []
-  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
+  |> List.sort (fun a b ->
+         match String.compare a.name b.name with
+         | 0 -> compare_labels a.labels b.labels
+         | c -> c)

@@ -10,7 +10,23 @@
     depend on hash-table iteration order.
 
     The hot-path operations ({!inc}, {!add}, {!set}, {!observe}) touch only
-    a preallocated record — no allocation, no hashing. *)
+    a preallocated record — no allocation, no hashing.
+
+    {2 Domain safety}
+
+    A registry is deliberately {e not} synchronized: the table is a plain
+    [Hashtbl] and every instrument is a bare mutable record, so the hot
+    path stays lock- and allocation-free. The contract under [Pool]-style
+    parallelism is {e per-domain-registry-then-merge}: every unit of
+    parallel work owns its registry (usually via its own [Sink]) and the
+    joining domain folds the results together with {!merge} after the
+    worker is done. Sharing one registry across domains is a data race —
+    lost increments at best, a corrupted table at worst — and it breaks
+    the [-j N] byte-determinism contract even when it doesn't crash.
+    dynlint rule D1 (no-global-mutable-state) exists to keep registries
+    from becoming ambient globals that would invite exactly that sharing;
+    the [global-state lib/telemetry/metrics.ml] entry in [dynlint.allow]
+    points back at this section. *)
 
 type t
 (** A registry. *)
@@ -81,5 +97,10 @@ val merge : into:t -> t -> unit
     histogram buckets/count/sum add; gauges take the maximum (when joining
     per-task registries the gauges in use are levels and high-water marks,
     for which max is the meaningful combination). [src] is left untouched.
+
+    This is the join half of the per-domain-registry-then-merge contract
+    (see {e Domain safety} above): call it from the domain that owns
+    [into], after the domain that filled [src] has finished — never
+    concurrently with writes to either registry.
     @raise Invalid_argument if a metric exists in both registries with
     different instrument kinds. *)

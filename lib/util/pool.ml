@@ -82,7 +82,7 @@ let conclude n results errors =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None ->
       Array.to_list
-        (Array.map (function Some v -> v | None -> assert false) results)
+        (Array.map (function Some v -> v | None -> assert false) results)  (* dynlint: allow unsafe -- the join loop fills every slot before map returns *)
 
 let run t thunks =
   let arr = Array.of_list thunks in

@@ -19,7 +19,7 @@ let mean = function
 let maxf = function [] -> nan | x :: tl -> List.fold_left max x tl
 
 let median l =
-  match List.sort compare l with
+  match List.sort Float.compare l with
   | [] -> nan
   | sorted ->
       let n = List.length sorted in

@@ -1,0 +1,45 @@
+(* dynlint — determinism & domain-safety lint for this repo.
+
+   Usage: dynlint [--root DIR] [--allow FILE] PATH...
+
+   Each PATH (relative to --root, default ".") is a directory walked
+   recursively or a single .ml file. Prints one "file:line:col [id name]
+   message" per finding and exits 1 when there are any, 0 on a clean
+   tree. See tools/dynlint/lint.mli and DESIGN.md "Static analysis" for
+   the rule set and the allowlist syntax. *)
+
+let usage = "dynlint [--root DIR] [--allow FILE] PATH..."
+
+let () =
+  let root = ref "." in
+  let allow_file = ref None in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR  resolve PATHs relative to DIR (default .)");
+      ( "--allow",
+        Arg.String (fun f -> allow_file := Some f),
+        "FILE  allowlist file: lines of <rule-name> <path-suffix>" );
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths = List.rev !paths in
+  if paths = [] then (
+    prerr_endline usage;
+    exit 2);
+  let allow =
+    match !allow_file with
+    | None -> Lint.no_allow
+    | Some f -> (
+        try Lint.load_allow_file f
+        with Sys_error m | Failure m ->
+          Printf.eprintf "dynlint: %s\n" m;
+          exit 2)
+  in
+  let findings = Lint.lint_tree ~allow ~root:!root paths in
+  List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings;
+  match findings with
+  | [] -> ()
+  | fs ->
+      Printf.eprintf "dynlint: %d finding(s)\n" (List.length fs);
+      exit 1

@@ -1,0 +1,409 @@
+type rule = Global_state | Ambient | Poly_compare | Unsafe | Mli | Stdout
+
+let rule_id = function
+  | Global_state -> "D1"
+  | Ambient -> "D2"
+  | Poly_compare -> "D3"
+  | Unsafe -> "D4"
+  | Mli -> "D5"
+  | Stdout -> "D6"
+
+let rule_name = function
+  | Global_state -> "global-state"
+  | Ambient -> "ambient"
+  | Poly_compare -> "poly-compare"
+  | Unsafe -> "unsafe"
+  | Mli -> "mli"
+  | Stdout -> "stdout"
+
+let all_rules = [ Global_state; Ambient; Poly_compare; Unsafe; Mli; Stdout ]
+let rule_of_name s = List.find_opt (fun r -> rule_name r = s) all_rules
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  msg : string;
+}
+
+let finding_to_string f =
+  Printf.sprintf "%s:%d:%d [%s %s] %s" f.file f.line f.col (rule_id f.rule)
+    (rule_name f.rule) f.msg
+
+(* ------------------------------------------------------------------ *)
+(* allowlisting                                                        *)
+
+type allow = (rule * string) list
+
+let no_allow = []
+
+let is_path_suffix ~suffix path =
+  (* [suffix] matches [path] on whole /-separated components from the end *)
+  let lp = String.length path and ls = String.length suffix in
+  ls <= lp
+  && String.sub path (lp - ls) ls = suffix
+  && (ls = lp || path.[lp - ls - 1] = '/')
+
+let file_allowed allow rule path =
+  List.exists (fun (r, suffix) -> r = rule && is_path_suffix ~suffix path) allow
+
+let load_allow_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let entries = ref [] in
+      (try
+         while true do
+           let raw = input_line ic in
+           let line =
+             match String.index_opt raw '#' with
+             | Some i -> String.sub raw 0 i
+             | None -> raw
+           in
+           match String.split_on_char ' ' (String.trim line) with
+           | [ "" ] -> ()
+           | [ name; suffix ] -> (
+               match rule_of_name name with
+               | Some r -> entries := (r, suffix) :: !entries
+               | None ->
+                   failwith
+                     (Printf.sprintf "%s: unknown dynlint rule %S" path name))
+           | _ ->
+               failwith
+                 (Printf.sprintf
+                    "%s: malformed allow entry %S (want: <rule-name> <path>)"
+                    path raw)
+         done
+       with End_of_file -> ());
+      List.rev !entries)
+
+let contains_substring hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+(* A finding on line [l] is suppressed by "dynlint: allow <rule-name>" on
+   line [l] or [l-1] (1-indexed). *)
+let line_allowed lines rule l =
+  let tag = "dynlint: allow " ^ rule_name rule in
+  let has l = l >= 1 && l <= Array.length lines && contains_substring lines.(l - 1) tag in
+  has l || has (l - 1)
+
+(* ------------------------------------------------------------------ *)
+(* parsetree helpers                                                   *)
+
+open Parsetree
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply _ -> []
+
+(* normalize away an explicit Stdlib. prefix so Stdlib.Sys.time = Sys.time *)
+let path_of_lid lid =
+  match flatten_lid lid with "Stdlib" :: (_ :: _ as rest) -> rest | p -> p
+
+let loc_pos (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+(* ------------------------------------------------------------------ *)
+(* ident classification per rule                                       *)
+
+(* D1: allocators of shared mutable state; flagged in application position
+   at module top level *)
+let is_mutable_alloc = function
+  | [ "ref" ]
+  | [ "Hashtbl"; "create" ]
+  | [ "Buffer"; "create" ]
+  | [ "Queue"; "create" ]
+  | [ "Stack"; "create" ]
+  | [ "Atomic"; "make" ] ->
+      true
+  | _ -> false
+
+(* D2: ambient nondeterminism — wall clock and the global Random state *)
+let ambient_msg = function
+  | "Random" :: _ ->
+      Some "ambient Random: draw from a seeded Rng.t threaded from the caller"
+  | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ]
+  | [ "Unix"; "gmtime" ] | [ "Unix"; "localtime" ] ->
+      Some "wall-clock time: only simulated Net time exists in the model"
+  | _ -> None
+
+(* D3 (ident part): polymorphic compare/hash *)
+let poly_compare_msg = function
+  | [ "compare" ] ->
+      Some
+        "bare polymorphic compare is visit-order dependent on mutable \
+         records; use a monomorphic comparator (Int.compare, \
+         String.compare, ...)"
+  | [ "Hashtbl"; "hash" ] | [ "Hashtbl"; "seeded_hash" ] ->
+      Some "polymorphic Hashtbl.hash on node-carrying values; hash a stable key instead"
+  | _ -> None
+
+(* D4 (ident part) *)
+let unsafe_ident_msg = function
+  | [ "Obj"; "magic" ] -> Some "Obj.magic defeats the type system"
+  | "Marshal" :: _ ->
+      Some "Marshal is representation-dependent and breaks abstraction"
+  | _ -> None
+
+(* D6: stdout writers *)
+let stdout_print_names =
+  [
+    "print_string"; "print_bytes"; "print_int"; "print_float"; "print_char";
+    "print_endline"; "print_newline";
+  ]
+
+let stdout_msg = function
+  | [ n ] when List.mem n stdout_print_names ->
+      Some (n ^ " writes to stdout; emit telemetry or return the value")
+  | [ "Printf"; "printf" ] | [ "Format"; "printf" ] ->
+      Some "printf writes to stdout; emit telemetry or return the value"
+  | [ "Format"; n ] when String.length n >= 6 && String.sub n 0 6 = "print_" ->
+      Some ("Format." ^ n ^ " writes to std_formatter (stdout)")
+  | _ -> None
+
+let equality_ops = [ "="; "<>"; "=="; "!=" ]
+
+let rec strip_expr e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> strip_expr e
+  | _ -> e
+
+let is_record_literal e =
+  match (strip_expr e).pexp_desc with Pexp_record _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* the per-file pass                                                   *)
+
+type ctx = { lib : bool; test : bool }
+
+let ctx_of_path path =
+  let parts = String.split_on_char '/' path in
+  let lib = match parts with "lib" :: _ -> true | _ -> false in
+  let test =
+    List.exists (fun seg -> seg = "test" || seg = "tests") parts
+  in
+  { lib; test }
+
+let parse_structure path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_structure ?(allow = no_allow) ~ctx ~path ~lines str =
+  let findings = ref [] in
+  let flag rule loc msg =
+    let line, col = loc_pos loc in
+    if (not (line_allowed lines rule line)) && not (file_allowed allow rule path)
+    then findings := { file = path; line; col; rule; msg } :: !findings
+  in
+  (* D1: scan a top-level binding's RHS, stopping at function boundaries —
+     allocation inside a function body happens per call, not at module
+     init. *)
+  let scan_toplevel_rhs e0 =
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            match e.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ -> ()
+            | Pexp_apply (f, _) ->
+                (match (strip_expr f).pexp_desc with
+                | Pexp_ident { txt; loc } ->
+                    let p = path_of_lid txt in
+                    if is_mutable_alloc p then
+                      flag Global_state loc
+                        (String.concat "." p
+                       ^ " at module top level is shared mutable state and \
+                          races under Pool domains; allocate inside the \
+                          value's owner or annotate with (* dynlint: allow \
+                          global-state -- reason *)")
+                | _ -> ());
+                Ast_iterator.default_iterator.expr self e
+            | _ -> Ast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.expr it e0
+  in
+  (* Everything else: one full walk. *)
+  let on_ident lid loc =
+    let p = path_of_lid lid in
+    if ctx.lib then (
+      (match ambient_msg p with Some m -> flag Ambient loc m | None -> ());
+      (match poly_compare_msg p with
+      | Some m -> flag Poly_compare loc m
+      | None -> ());
+      match stdout_msg p with Some m -> flag Stdout loc m | None -> ());
+    if not ctx.test then
+      match unsafe_ident_msg p with
+      | Some m -> flag Unsafe loc m
+      | None -> ()
+  in
+  let expr_rule self e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> on_ident txt loc
+    | Pexp_assert inner when not ctx.test -> (
+        match (strip_expr inner).pexp_desc with
+        | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) ->
+            flag Unsafe e.pexp_loc
+              "assert false: if the branch is truly unreachable, annotate \
+               with (* dynlint: allow unsafe -- reason *)"
+        | _ -> ())
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args)
+      when ctx.lib -> (
+        match (path_of_lid txt, args) with
+        | [ op ], [ (_, a); (_, b) ]
+          when List.mem op equality_ops
+               && (is_record_literal a || is_record_literal b) ->
+            flag Poly_compare loc
+              (Printf.sprintf
+                 "polymorphic %s on a record literal is visit-order \
+                  dependent when fields are mutable; compare a stable \
+                  projection instead"
+                 op)
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self e
+  in
+  let structure_item_rule self item =
+    (match item.pstr_desc with
+    | Pstr_value (_, bindings) when ctx.lib ->
+        List.iter (fun vb -> scan_toplevel_rhs vb.pvb_expr) bindings
+    | _ -> ());
+    (* default iterator recurses into nested modules' structure items, so
+       bindings inside [module M = struct ... end] are still top level for
+       D1 purposes — but bindings inside expressions are not, because we
+       only hook structure items. *)
+    Ast_iterator.default_iterator.structure_item self item
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = expr_rule;
+      structure_item = structure_item_rule;
+    }
+  in
+  it.structure it str;
+  List.rev !findings
+
+let lint_file ?(allow = no_allow) ~ctx path =
+  let source = read_file path in
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  match parse_structure path source with
+  | str -> lint_structure ~allow ~ctx ~path ~lines str
+  | exception exn ->
+      let line, col, detail =
+        match Location.error_of_exn exn with
+        | Some (`Ok err) ->
+            let l, c = loc_pos err.main.loc in
+            (l, c, Format.asprintf "%t" err.main.txt)
+        | _ -> (1, 0, Printexc.to_string exn)
+      in
+      [
+        {
+          file = path;
+          line;
+          col;
+          rule = Unsafe;
+          msg = "file does not parse: " ^ detail;
+        };
+      ]
+
+let check_mli ?(allow = no_allow) path =
+  if file_allowed allow Mli path then None
+  else
+    let mli = Filename.remove_extension path ^ ".mli" in
+    if Sys.file_exists mli then None
+    else
+      (* a leading "dynlint: allow mli" comment also suppresses *)
+      let head_allows =
+        match read_file path with
+        | source ->
+            let rec first_lines n = function
+              | x :: tl when n > 0 -> x :: first_lines (n - 1) tl
+              | _ -> []
+            in
+            List.exists
+              (fun l -> contains_substring l "dynlint: allow mli")
+              (first_lines 3 (String.split_on_char '\n' source))
+        | exception Sys_error _ -> false
+      in
+      if head_allows then None
+      else
+        Some
+          {
+            file = path;
+            line = 1;
+            col = 0;
+            rule = Mli;
+            msg =
+              "missing interface " ^ Filename.basename mli
+              ^ ": every lib module declares its surface";
+          }
+
+(* ------------------------------------------------------------------ *)
+(* tree walk                                                           *)
+
+let rec walk_dir acc dir =
+  let entries = Sys.readdir dir in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc name ->
+      if name = "" || name.[0] = '.' || name = "_build" then acc
+      else
+        let p = Filename.concat dir name in
+        if Sys.is_directory p then walk_dir acc p
+        else if Filename.check_suffix name ".ml" then p :: acc
+        else acc)
+    acc entries
+
+let lint_tree ?(allow = no_allow) ~root dirs =
+  let files =
+    List.concat_map
+      (fun d ->
+        let abs = Filename.concat root d in
+        if Sys.file_exists abs && Sys.is_directory abs then
+          List.rev (walk_dir [] abs)
+        else if Sys.file_exists abs then [ abs ]
+        else [])
+      dirs
+  in
+  let rel path =
+    let prefix = root ^ "/" in
+    let lp = String.length prefix in
+    if String.length path >= lp && String.sub path 0 lp = prefix then
+      String.sub path lp (String.length path - lp)
+    else path
+  in
+  let findings =
+    List.concat_map
+      (fun abs ->
+        let path = rel abs in
+        let ctx = ctx_of_path path in
+        let fs = lint_file ~allow ~ctx abs in
+        let fs = List.map (fun f -> { f with file = path }) fs in
+        if ctx.lib && not ctx.test then
+          match check_mli ~allow abs with
+          | Some f -> fs @ [ { f with file = path } ]
+          | None -> fs
+        else fs)
+      files
+  in
+  List.sort
+    (fun a b ->
+      match String.compare a.file b.file with
+      | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+      | c -> c)
+    findings

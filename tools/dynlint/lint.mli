@@ -1,0 +1,101 @@
+(** dynlint: repo-specific determinism & domain-safety lint rules.
+
+    Each rule is motivated by a bug this repo already shipped (or nearly
+    shipped); see DESIGN.md "Static analysis". Rules operate on the
+    parsetree (compiler-libs [Parse] + [Ast_iterator]) — no typing pass —
+    so they are fast and run on any file that parses, at the cost of a few
+    syntactic heuristics (documented per rule below).
+
+    {2 Rules}
+
+    - [D1 global-state]: top-level bindings in [lib/] that allocate mutable
+      state ([ref]/[Hashtbl.create]/[Buffer.create]/[Queue.create]/
+      [Stack.create]/[Atomic.make]), including inside nested modules and
+      under [lazy]. These race under [Pool] domains and broke [-j]
+      byte-determinism in PR 3.
+    - [D2 ambient]: [Random.*], [Sys.time], [Unix.gettimeofday]/[time]/
+      [gmtime]/[localtime] in [lib/] outside [lib/util/rng.ml]. Only the
+      seeded [Rng] and simulated time exist in the paper's model.
+    - [D3 poly-compare]: bare polymorphic [compare]/[Stdlib.compare]/
+      [Hashtbl.hash], and [=]/[<>]/[==]/[!=] applied directly to a record
+      literal. Structural compare on records with mutable fields is
+      visit-order dependent; hot paths want monomorphic compares anyway.
+    - [D4 unsafe]: [Obj.magic], [Marshal.*], [assert false] in non-test
+      code. [assert false] is fine where truly unreachable — annotate it.
+    - [D5 mli]: every [lib/**/*.ml] has a matching [.mli].
+    - [D6 stdout]: [print_*]/[Printf.printf]/[Format.printf] in [lib/];
+      output must go through telemetry sinks or returned values.
+
+    {2 Allowlisting}
+
+    A finding on line [l] is suppressed when line [l] or line [l-1]
+    contains [dynlint: allow <rule-name>] (in a comment by convention; the
+    scan is textual). Whole files are suppressed through an allow file
+    (see {!load_allow_file}): lines of the form [<rule-name> <path>],
+    [#]-comments and blanks ignored; the path matches any linted file whose
+    [/]-separated path ends with it. *)
+
+type rule =
+  | Global_state  (** D1 *)
+  | Ambient  (** D2 *)
+  | Poly_compare  (** D3 *)
+  | Unsafe  (** D4 *)
+  | Mli  (** D5 *)
+  | Stdout  (** D6 *)
+
+val rule_id : rule -> string
+(** ["D1"] .. ["D6"]. *)
+
+val rule_name : rule -> string
+(** The allowlist token: ["global-state"], ["ambient"], ["poly-compare"],
+    ["unsafe"], ["mli"], ["stdout"]. *)
+
+val rule_of_name : string -> rule option
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  msg : string;
+}
+
+val finding_to_string : finding -> string
+(** [file:line:col [id rule-name] msg] — the exact line the executable
+    prints. *)
+
+type allow
+(** Parsed allow file: (rule, path-suffix) entries. *)
+
+val no_allow : allow
+
+val load_allow_file : string -> allow
+(** @raise Sys_error if the file cannot be read.
+    @raise Failure on a malformed line (unknown rule name). *)
+
+(** Which rule groups apply to a file, by where it lives in the tree. *)
+type ctx = {
+  lib : bool;  (** under [lib/]: D1, D2, D3, D6 (D5 checked separately) *)
+  test : bool;  (** test code: D4 does not apply *)
+}
+
+val ctx_of_path : string -> ctx
+(** Classify a [/]-separated path: [lib/...] is lib code, [test/...] or any
+    [.../test/...] segment is test code. *)
+
+val lint_file : ?allow:allow -> ctx:ctx -> string -> finding list
+(** Parse one [.ml] file and run every applicable syntactic rule (D1–D4,
+    D6). A file that does not parse yields a single D4 finding at the error
+    location (an unparseable file cannot be vouched for). Findings are in
+    source order. *)
+
+val check_mli : ?allow:allow -> string -> finding option
+(** D5 for one [.ml] path: [Some finding] when the sibling [.mli] is
+    missing. *)
+
+val lint_tree : ?allow:allow -> root:string -> string list -> finding list
+(** Walk the given directories (relative to [root]) recursively in sorted
+    order, lint every [.ml] with {!lint_file} under its {!ctx_of_path}
+    classification, and apply {!check_mli} to lib files. [_build], [.git]
+    and hidden directories are skipped. Findings are sorted by
+    (file, line, col). *)

@@ -1,0 +1,17 @@
+(* fixture: D1 global-state — four top-level mutable allocations, one legal
+   local one *)
+
+let table = Hashtbl.create 16
+let total = ref 0
+
+module Nested = struct
+  let buf = Buffer.create 64
+end
+
+let lazy_queue = lazy (Queue.create ())
+
+(* allocation inside a function body is per-call state, not module state *)
+let make () =
+  let h = Hashtbl.create 4 in
+  Hashtbl.replace h "k" total;
+  (h, table, Nested.buf, lazy_queue)

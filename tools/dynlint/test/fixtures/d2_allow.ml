@@ -1,0 +1,5 @@
+(* fixture: D2 ambient — same calls, allow-annotated *)
+
+let jitter () = Random.int 10 (* dynlint: allow ambient -- fixture *)
+let now () = Unix.gettimeofday () (* dynlint: allow ambient -- fixture *)
+let cpu () = Sys.time () (* dynlint: allow ambient -- fixture *)

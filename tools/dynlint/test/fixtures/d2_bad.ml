@@ -1,0 +1,5 @@
+(* fixture: D2 ambient — global Random state and wall-clock reads *)
+
+let jitter () = Random.int 10
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

@@ -1,0 +1,7 @@
+(* fixture: D3 poly-compare — same shapes, allow-annotated *)
+
+type cell = { mutable weight : int; id : int }
+
+let sort_cells l = List.sort compare l (* dynlint: allow poly-compare -- fixture *)
+let hash_cell (c : cell) = Hashtbl.hash c (* dynlint: allow poly-compare -- fixture *)
+let is_fresh c = c = { weight = 0; id = 0 } (* dynlint: allow poly-compare -- fixture *)

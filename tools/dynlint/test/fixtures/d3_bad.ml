@@ -1,0 +1,11 @@
+(* fixture: D3 poly-compare — bare compare, Hashtbl.hash, and equality
+   against a record literal *)
+
+type cell = { mutable weight : int; id : int }
+
+let sort_cells l = List.sort compare l
+let hash_cell (c : cell) = Hashtbl.hash c
+let is_fresh c = c = { weight = 0; id = 0 }
+
+(* monomorphic comparators are the fix, not a finding *)
+let sort_ids l = List.sort Int.compare l

@@ -1,0 +1,8 @@
+(* fixture: D4 unsafe — same shapes, allow-annotated *)
+
+let unwrap = function
+  | Some v -> v
+  | None -> assert false (* dynlint: allow unsafe -- fixture *)
+
+let coerce x = Obj.magic x (* dynlint: allow unsafe -- fixture *)
+let save x = Marshal.to_string x [] (* dynlint: allow unsafe -- fixture *)

@@ -1,0 +1,5 @@
+(* fixture: D4 unsafe — assert false, Obj.magic, Marshal *)
+
+let unwrap = function Some v -> v | None -> assert false
+let coerce x = Obj.magic x
+let save x = Marshal.to_string x []

@@ -1,0 +1,3 @@
+(* fixture: D5 mli — module with a matching interface; no finding *)
+
+let answer = 42

@@ -1,0 +1,3 @@
+(* dynlint: allow mli -- fixture: interface intentionally absent *)
+
+let answer = 42

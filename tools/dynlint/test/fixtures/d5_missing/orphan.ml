@@ -1,0 +1,3 @@
+(* fixture: D5 mli — a lib module with no interface *)
+
+let answer = 42

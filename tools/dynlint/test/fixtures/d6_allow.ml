@@ -1,0 +1,5 @@
+(* fixture: D6 stdout — same calls, allow-annotated *)
+
+let banner () = print_endline "hello" (* dynlint: allow stdout -- fixture *)
+let dump n = Printf.printf "%d\n" n (* dynlint: allow stdout -- fixture *)
+let show s = Format.printf "%s@." s (* dynlint: allow stdout -- fixture *)

@@ -1,0 +1,5 @@
+(* fixture: D6 stdout — direct writes to stdout from library code *)
+
+let banner () = print_endline "hello"
+let dump n = Printf.printf "%d\n" n
+let show s = Format.printf "%s@." s

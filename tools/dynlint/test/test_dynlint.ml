@@ -1,0 +1,113 @@
+(* dynlint's own test suite: a fixture corpus with one bad + one
+   allow-annotated file per rule, exact rule-id assertions, the allow-file
+   and context gates, and clean-tree silence on the repo's lib/. *)
+
+let lib_ctx = { Lint.lib = true; test = false }
+
+let ids ?allow ?(ctx = lib_ctx) path =
+  List.map (fun f -> Lint.rule_id f.Lint.rule) (Lint.lint_file ?allow ~ctx path)
+
+let check_ids name expected got =
+  Alcotest.(check (list string)) name expected got
+
+let test_bad_fixtures () =
+  check_ids "d1_bad" [ "D1"; "D1"; "D1"; "D1" ] (ids "fixtures/d1_bad.ml");
+  check_ids "d2_bad" [ "D2"; "D2"; "D2" ] (ids "fixtures/d2_bad.ml");
+  check_ids "d3_bad" [ "D3"; "D3"; "D3" ] (ids "fixtures/d3_bad.ml");
+  check_ids "d4_bad" [ "D4"; "D4"; "D4" ] (ids "fixtures/d4_bad.ml");
+  check_ids "d6_bad" [ "D6"; "D6"; "D6" ] (ids "fixtures/d6_bad.ml")
+
+let test_allow_fixtures () =
+  List.iter
+    (fun p -> check_ids p [] (ids ("fixtures/" ^ p)))
+    [ "d1_allow.ml"; "d2_allow.ml"; "d3_allow.ml"; "d4_allow.ml"; "d6_allow.ml" ]
+
+let test_mli () =
+  (match Lint.check_mli "fixtures/d5_missing/orphan.ml" with
+  | Some f ->
+      Alcotest.(check string) "orphan rule" "D5" (Lint.rule_id f.Lint.rule)
+  | None -> Alcotest.fail "orphan.ml should be a D5 finding");
+  (match Lint.check_mli "fixtures/d5_missing/allowed.ml" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "allowed.ml carries a dynlint: allow mli header");
+  match Lint.check_mli "fixtures/d5_covered/covered.ml" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "covered.ml has a matching .mli"
+
+let test_context_gates () =
+  (* lib-only rules are silent outside lib/ ... *)
+  let exe_ctx = { Lint.lib = false; test = false } in
+  check_ids "d1 outside lib" [] (ids ~ctx:exe_ctx "fixtures/d1_bad.ml");
+  check_ids "d2 outside lib" [] (ids ~ctx:exe_ctx "fixtures/d2_bad.ml");
+  check_ids "d3 outside lib" [] (ids ~ctx:exe_ctx "fixtures/d3_bad.ml");
+  check_ids "d6 outside lib" [] (ids ~ctx:exe_ctx "fixtures/d6_bad.ml");
+  (* ... but D4 still applies to any non-test code ... *)
+  check_ids "d4 outside lib" [ "D4"; "D4"; "D4" ]
+    (ids ~ctx:exe_ctx "fixtures/d4_bad.ml");
+  (* ... and not to tests *)
+  let test_ctx = { Lint.lib = false; test = true } in
+  check_ids "d4 in tests" [] (ids ~ctx:test_ctx "fixtures/d4_bad.ml")
+
+let test_ctx_of_path () =
+  let check path lib test =
+    let c = Lint.ctx_of_path path in
+    Alcotest.(check bool) (path ^ " lib") lib c.Lint.lib;
+    Alcotest.(check bool) (path ^ " test") test c.Lint.test
+  in
+  check "lib/core/dist.ml" true false;
+  check "test/main.ml" false true;
+  check "tools/dynlint/test/fixtures/d1_bad.ml" false true;
+  check "bench/experiments.ml" false false
+
+let test_allow_file () =
+  let allow = Lint.load_allow_file "fixtures/test.allow" in
+  (* suffix entry "d2_bad.ml" suppresses the whole file *)
+  check_ids "allow-file ambient" [] (ids ~allow "fixtures/d2_bad.ml");
+  (* multi-component suffix "fixtures/d4_bad.ml" matches too *)
+  check_ids "allow-file unsafe" [] (ids ~allow "fixtures/d4_bad.ml");
+  (* entries are per rule: D1/D3/D6 fixtures are untouched by this file *)
+  check_ids "allow-file scoped" [ "D3"; "D3"; "D3" ]
+    (ids ~allow "fixtures/d3_bad.ml")
+
+let test_report_format () =
+  match Lint.lint_file ~ctx:lib_ctx "fixtures/d1_bad.ml" with
+  | f :: _ ->
+      let line = Lint.finding_to_string f in
+      let prefix = "fixtures/d1_bad.ml:4:12 [D1 global-state]" in
+      let lp = String.length prefix in
+      Alcotest.(check string) "report prefix" prefix
+        (if String.length line >= lp then String.sub line 0 lp else line)
+  | [] -> Alcotest.fail "d1_bad.ml should have findings"
+
+(* The real tree must stay silent: same invocation shape as the @lint
+   alias, restricted to lib/ (bin/ and bench/ are not test deps). *)
+let test_clean_tree () =
+  let allow = Lint.load_allow_file "../../../dynlint.allow" in
+  let findings = Lint.lint_tree ~allow ~root:"../../.." [ "lib" ] in
+  Alcotest.(check (list string)) "lib/ is dynlint-clean" []
+    (List.map Lint.finding_to_string findings)
+
+let () =
+  Alcotest.run "dynlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "bad fixtures hit their rule" `Quick
+            test_bad_fixtures;
+          Alcotest.test_case "allow comments silence findings" `Quick
+            test_allow_fixtures;
+          Alcotest.test_case "mli coverage (D5)" `Quick test_mli;
+        ] );
+      ( "gates",
+        [
+          Alcotest.test_case "rule applicability by context" `Quick
+            test_context_gates;
+          Alcotest.test_case "path classification" `Quick test_ctx_of_path;
+          Alcotest.test_case "allow file suppression" `Quick test_allow_file;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "finding format" `Quick test_report_format;
+          Alcotest.test_case "clean tree is silent" `Quick test_clean_tree;
+        ] );
+    ]
