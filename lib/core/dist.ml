@@ -117,6 +117,25 @@ let reject_bits t = log_n t
 
 let tag t suffix = t.config.name ^ "-" ^ suffix
 
+(* Every message-tag suffix this controller can put on the wire — the one
+   declared tag universe the static (dynlint D8) and runtime
+   (test_conformance) protocol-conformance checks both compare against.
+   The attribute is what D8 keys on; keep the list literal-only. *)
+let tag_suffixes =
+  [
+    "agent-down";
+    "agent-reject";
+    "agent-release";
+    "agent-return";
+    "agent-unlock";
+    "agent-up";
+    "reject-wave";
+  ]
+[@@dynlint.tag_universe]
+
+let tag_universe ~name = List.map (fun s -> name ^ "-" ^ s) tag_suffixes
+let tags t = tag_universe ~name:t.config.name
+
 (* Telemetry rides the network's sink; no sink, no work. *)
 let emit t kind =
   match Net.sink t.net with

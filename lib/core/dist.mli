@@ -51,6 +51,19 @@ val create : ?config:config -> params:Params.t -> net:Net.t -> unit -> t
     [pkg_splits_total{level}]) / [Package_static] / [Package_join] /
     [Reject_wave] events tagged with the controller's [config.name]. *)
 
+val tag_suffixes : string list
+(** Every message-tag suffix the agent protocol can emit, sorted; the wire
+    tag is [config.name ^ "-" ^ suffix]. This list (marked
+    [[@@dynlint.tag_universe]]) is the declared tag universe that dynlint's
+    D8 pass checks every [Net.send ~tag:] literal against, and that
+    [test_conformance] compares [Net.messages_by_tag] to at runtime. *)
+
+val tag_universe : name:string -> string list
+(** The full wire tags of a controller whose [config.name] is [name]. *)
+
+val tags : t -> string list
+(** {!tag_universe} for this controller's configured name. *)
+
 val submit : t -> Workload.op -> k:(Types.outcome -> unit) -> unit
 (** Inject a request at its arrival site (asynchronously; drive the net to
     progress). [k] fires exactly once: [Granted] after the permit was

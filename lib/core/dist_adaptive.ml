@@ -33,6 +33,9 @@ let tree t = Net.tree t.net
 let hold_config name =
   { Dist.default_config with auto_apply = false; exhaustion = `Hold; name }
 
+let tag_universe =
+  Dist.tag_universe ~name:"main" @ Dist.tag_universe ~name:"counter"
+
 let make_pair t m_budget stage_w =
   let n = Dtree.size (tree t) in
   let u = max 4 (2 * n) in

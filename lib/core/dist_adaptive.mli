@@ -37,3 +37,8 @@ val overhead_messages : t -> int
 (** Messages charged for the inter-epoch broadcast/upcast/reset waves (they
     are accounted here rather than sent one by one; add to
     [Net.messages]). *)
+
+val tag_universe : string list
+(** Every wire tag the paired controllers can emit ({!Dist.tag_universe}
+    for the "main" and "counter" prefixes); [Net.messages_by_tag] of any
+    run is a subset. *)

@@ -2,6 +2,9 @@ module Dist = Controller.Dist
 module Params = Controller.Params
 module Types = Controller.Types
 
+let protocol_name = "census"
+let tag_universe = Dist.tag_universe ~name:protocol_name
+
 type decision = Majority_commit.decision = Commit | Abort
 
 type request = { parent : Dtree.node; vote : bool; k : bool -> unit }
@@ -54,7 +57,7 @@ let make_ctrl t =
     let u = max 4 (n + budget) in
     Some
       (Dist.create
-         ~config:{ Dist.default_config with auto_apply = false; exhaustion = `Hold; name = "census" }
+         ~config:{ Dist.default_config with auto_apply = false; exhaustion = `Hold; name = protocol_name }
          ~params:(Params.make ~m:budget ~w:(max 1 (budget / 2)) ~u)
          ~net:t.net ())
   end

@@ -30,3 +30,8 @@ val overhead_messages : t -> int
 
 val ground_truth : t -> decision
 (** Majority over every admitted voter — analysis only. *)
+
+val tag_universe : string list
+(** Every wire tag this protocol's inner controller can emit
+    ({!Controller.Dist.tag_universe} for its name prefix);
+    [Net.messages_by_tag] of any run is a subset. *)

@@ -2,6 +2,9 @@ module Dist = Controller.Dist
 module Params = Controller.Params
 module Types = Controller.Types
 
+let protocol_name = "names"
+let tag_universe = Dist.tag_universe ~name:protocol_name
+
 type request = { op : Workload.op; k : unit -> unit }
 
 type t = {
@@ -29,7 +32,7 @@ let make_ctrl net n_i =
   let budget = max 2 (n_i / 2) in
   let u = max 4 (n_i + budget) in
   Dist.create
-    ~config:{ Dist.default_config with auto_apply = false; exhaustion = `Hold; name = "names" }
+    ~config:{ Dist.default_config with auto_apply = false; exhaustion = `Hold; name = protocol_name }
     ~params:(Params.make ~m:budget ~w:(max 1 (n_i / 4)) ~u)
     ~net ()
 

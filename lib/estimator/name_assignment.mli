@@ -36,3 +36,8 @@ val overhead_messages : t -> int
 val max_id_ever_ratio : t -> float
 (** High-water mark of [max id / n], checked at every change (the paper
     proves it never exceeds 4). *)
+
+val tag_universe : string list
+(** Every wire tag this protocol's inner controller can emit
+    ({!Controller.Dist.tag_universe} for its name prefix);
+    [Net.messages_by_tag] of any run is a subset. *)

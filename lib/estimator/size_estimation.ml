@@ -2,6 +2,9 @@ module Dist = Controller.Dist
 module Params = Controller.Params
 module Types = Controller.Types
 
+let protocol_name = "size-est"
+let tag_universe = Dist.tag_universe ~name:protocol_name
+
 type request = { op : Workload.op; k : unit -> unit }
 
 type t = {
@@ -36,7 +39,7 @@ let alpha_budget t n =
 let make_ctrl net n_i budget =
   let u = max 4 (n_i + budget) in
   Dist.create
-    ~config:{ Dist.default_config with auto_apply = false; exhaustion = `Hold; name = "size-est" }
+    ~config:{ Dist.default_config with auto_apply = false; exhaustion = `Hold; name = protocol_name }
     ~params:(Params.make ~m:budget ~w:(max 1 (budget / 2)) ~u)
     ~net ()
 

@@ -39,3 +39,8 @@ val overhead_messages : t -> int
 
 val changes : t -> int
 (** Topological changes applied so far. *)
+
+val tag_universe : string list
+(** Every wire tag this protocol's inner controller can emit
+    ({!Controller.Dist.tag_universe} for its name prefix);
+    [Net.messages_by_tag] of any run is a subset. *)

@@ -2,6 +2,9 @@ module Dist = Controller.Dist
 module Params = Controller.Params
 module Types = Controller.Types
 
+let protocol_name = "subtree-est"
+let tag_universe = Dist.tag_universe ~name:protocol_name
+
 type request = { op : Workload.op; k : unit -> unit }
 
 type t = {
@@ -40,7 +43,7 @@ let make_ctrl t =
       {
         Dist.auto_apply = false;
         exhaustion = `Hold;
-        name = "subtree-est";
+        name = protocol_name;
         on_permits_down = (fun ~node ~size -> observe t ~node ~size);
       }
     ~params:(Params.make ~m:budget ~w:(max 1 (budget / 2)) ~u)

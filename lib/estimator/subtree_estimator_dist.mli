@@ -32,3 +32,8 @@ val estimate : t -> Dtree.node -> int
 val super_weight : t -> Dtree.node -> int
 val epochs : t -> int
 val overhead_messages : t -> int
+
+val tag_universe : string list
+(** Every wire tag this protocol's inner controller can emit
+    ({!Controller.Dist.tag_universe} for its name prefix);
+    [Net.messages_by_tag] of any run is a subset. *)

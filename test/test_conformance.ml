@@ -144,4 +144,111 @@ let cases =
         grid)
     variants
 
-let suite = ("conformance", cases)
+(* ------------------------------------------------------------------ *)
+(* Runtime protocol-conformance: every tag a distributed run puts on the
+   wire must come from that protocol's declared tag universe — the same
+   lists dynlint's D8 pass checks statically against the
+   [@@dynlint.tag_universe] literals, so the static and dynamic views of
+   the wire protocol cannot drift apart. *)
+
+let assert_tags_declared ~proto ~universe net =
+  List.iter
+    (fun (tag, count) ->
+      if not (List.mem tag universe) then
+        Alcotest.failf
+          "%s: %d message(s) under tag %S, outside the declared universe [%s]"
+          proto count tag
+          (String.concat "; " universe))
+    (Net.messages_by_tag net);
+  (* a run that sent nothing would vacuously "conform" *)
+  if Net.messages_by_tag net = [] then
+    Alcotest.failf "%s: the run sent no tagged messages" proto
+
+(* One request in flight at a time, so a freshly drawn op is still valid
+   when the protocol applies it — no reservation bookkeeping needed. *)
+let drive_churn ~seed ~net ~tree ~requests ~submit =
+  let wl = Workload.make ~seed ~mix:Workload.Mix.churn () in
+  let submitted = ref 0 in
+  let rec pump () =
+    if !submitted < requests then begin
+      incr submitted;
+      submit (Workload.next_op wl tree) pump
+    end
+  in
+  pump ();
+  Net.run net
+
+let build_net ~seed size =
+  let rng = Rng.create ~seed in
+  let tree = Workload.Shape.build rng (Workload.Shape.Random size) in
+  let net = Net.create ~seed:(seed + 1) ~tree () in
+  (tree, net)
+
+let tag_cases =
+  [
+    Alcotest.test_case "tags: dist (fixed U)" `Quick (fun () ->
+        let tree, net = build_net ~seed:9001 20 in
+        let requests = 40 in
+        let u = Dtree.size tree + requests in
+        let ctrl = Dist.create ~params:(Params.make ~m:12 ~w:4 ~u) ~net () in
+        drive_churn ~seed:9003 ~net ~tree ~requests
+          ~submit:(fun op k -> Dist.submit ctrl op ~k:(fun _ -> k ()));
+        assert_tags_declared ~proto:"dist" ~universe:(Dist.tags ctrl) net);
+    Alcotest.test_case "tags: dist adaptive" `Quick (fun () ->
+        let tree, net = build_net ~seed:9011 20 in
+        let da = Dist_adaptive.create ~m:30 ~w:10 ~net () in
+        drive_churn ~seed:9013 ~net ~tree ~requests:30
+          ~submit:(fun op k -> Dist_adaptive.submit da op ~k:(fun _ -> k ()));
+        assert_tags_declared ~proto:"dist-adaptive"
+          ~universe:Dist_adaptive.tag_universe net);
+    Alcotest.test_case "tags: size estimation" `Quick (fun () ->
+        let tree, net = build_net ~seed:9021 20 in
+        let se = Estimator.Size_estimation.create ~net () in
+        drive_churn ~seed:9023 ~net ~tree ~requests:25
+          ~submit:(fun op k -> Estimator.Size_estimation.submit se op ~k);
+        assert_tags_declared ~proto:"size-estimation"
+          ~universe:Estimator.Size_estimation.tag_universe net);
+    Alcotest.test_case "tags: name assignment" `Quick (fun () ->
+        let tree, net = build_net ~seed:9031 20 in
+        let na = Estimator.Name_assignment.create ~net () in
+        drive_churn ~seed:9033 ~net ~tree ~requests:25
+          ~submit:(fun op k -> Estimator.Name_assignment.submit na op ~k);
+        assert_tags_declared ~proto:"name-assignment"
+          ~universe:Estimator.Name_assignment.tag_universe net);
+    Alcotest.test_case "tags: subtree estimator" `Quick (fun () ->
+        let tree, net = build_net ~seed:9041 20 in
+        let st = Estimator.Subtree_estimator_dist.create ~net () in
+        drive_churn ~seed:9043 ~net ~tree ~requests:25
+          ~submit:(fun op k -> Estimator.Subtree_estimator_dist.submit st op ~k);
+        assert_tags_declared ~proto:"subtree-estimator"
+          ~universe:Estimator.Subtree_estimator_dist.tag_universe net);
+    Alcotest.test_case "tags: majority commit" `Quick (fun () ->
+        let tree, net = build_net ~seed:9051 12 in
+        let mc =
+          Estimator.Majority_commit_dist.create ~m:10 ~net
+            ~initial_votes:(fun v -> v mod 2 = 0) ()
+        in
+        (* join under the deepest node: a request at the root itself is
+           answered without any agent messages *)
+        let deepest () =
+          List.fold_left
+            (fun best v ->
+              if Dtree.depth tree v > Dtree.depth tree best then v else best)
+            (Dtree.root tree) (Dtree.live_nodes tree)
+        in
+        let joins = ref 0 in
+        let rec pump () =
+          if !joins < 14 then begin
+            incr joins;
+            Estimator.Majority_commit_dist.submit_join mc
+              ~parent:(deepest ()) ~vote:(!joins mod 3 = 0)
+              ~k:(fun _ -> pump ())
+          end
+        in
+        pump ();
+        Net.run net;
+        assert_tags_declared ~proto:"majority-commit"
+          ~universe:Estimator.Majority_commit_dist.tag_universe net);
+  ]
+
+let suite = ("conformance", cases @ tag_cases)

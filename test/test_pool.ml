@@ -128,10 +128,40 @@ let test_sweep_deterministic () =
       Alcotest.(check int) "reorders identical" a.Explore.reorders b.Explore.reorders)
     r1 r4
 
+(* ------------------------------------------------------------------ *)
+(* The race dynlint D7 exists to prevent, stated positively: the
+   shared-accumulator formulation (a closure incrementing one ref across
+   tasks — exactly the shape of the flagged
+   tools/dynlint/test/fixtures_typed/d7_bad fixture) is what D7 rejects;
+   the per-task-owned formulation below is the sanctioned replacement,
+   and it is byte-identical at every parallelism. *)
+
+let test_per_task_state_deterministic () =
+  let items = List.init 64 (fun i -> (i * 37) mod 101) in
+  let digest jobs =
+    (* each task owns its accumulator (a fresh Buffer per item); the only
+       cross-task combination happens at the deterministic join *)
+    let parts =
+      Pool.map ~jobs
+        (fun x ->
+          let buf = Buffer.create 8 in
+          Buffer.add_string buf (string_of_int (x * x));
+          Buffer.add_char buf ';';
+          Buffer.contents buf)
+        items
+    in
+    String.concat "" parts
+  in
+  let d1 = digest 1 in
+  Alcotest.(check string) "jobs=4 byte-identical to jobs=1" d1 (digest 4);
+  Alcotest.(check string) "jobs=16 byte-identical to jobs=1" d1 (digest 16)
+
 let suite =
   ( "pool",
     [
       Alcotest.test_case "map: order and results" `Quick test_map_order_and_results;
+      Alcotest.test_case "per-task state identical at any -j" `Quick
+        test_per_task_state_deterministic;
       Alcotest.test_case "map: exception propagation" `Quick
         test_map_exception_propagation;
       Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;

@@ -1,30 +1,50 @@
 (* dynlint — determinism & domain-safety lint for this repo.
 
-   Usage: dynlint [--root DIR] [--allow FILE] PATH...
+   Usage: dynlint [--root DIR] [--allow FILE] [--cmt DIR]... [--sarif FILE]
+                  [PATH...]
 
    Each PATH (relative to --root, default ".") is a directory walked
-   recursively or a single .ml file. Prints one "file:line:col [id name]
-   message" per finding and exits 1 when there are any, 0 on a clean
-   tree. See tools/dynlint/lint.mli and DESIGN.md "Static analysis" for
-   the rule set and the allowlist syntax. *)
+   recursively or a single .ml file; the parsetree pass (D1-D6) runs over
+   those. Each --cmt DIR is searched (relative to the working directory,
+   where dune leaves _build artifacts) for .cmt files and the typedtree
+   pass (D7-D9) runs over those; source files referenced by the cmts are
+   resolved against --root for inline-allow suppression. After both
+   passes, any allow-file entry or inline allow comment that suppressed
+   nothing is itself reported (D10), so dead exceptions cannot
+   accumulate.
 
-let usage = "dynlint [--root DIR] [--allow FILE] PATH..."
+   Prints one "file:line:col [id name] message" per finding, writes the
+   findings as SARIF 2.1.0 when --sarif is given (also when clean), and
+   exits 1 when there are any findings, 0 on a clean tree. See
+   tools/dynlint/lint.mli and DESIGN.md "Static analysis" for the rule
+   set and the allowlist syntax. *)
+
+let usage =
+  "dynlint [--root DIR] [--allow FILE] [--cmt DIR]... [--sarif FILE] [PATH...]"
 
 let () =
   let root = ref "." in
   let allow_file = ref None in
+  let sarif_file = ref None in
+  let cmt_dirs = ref [] in
   let paths = ref [] in
   let spec =
     [
-      ("--root", Arg.Set_string root, "DIR  resolve PATHs relative to DIR (default .)");
+      ("--root", Arg.Set_string root, "DIR  resolve PATHs and cmt source files relative to DIR (default .)");
       ( "--allow",
         Arg.String (fun f -> allow_file := Some f),
-        "FILE  allowlist file: lines of <rule-name> <path-suffix>" );
+        "FILE  allowlist file: lines of [pin] <rule-name> <path-suffix>" );
+      ( "--cmt",
+        Arg.String (fun d -> cmt_dirs := d :: !cmt_dirs),
+        "DIR  search DIR for .cmt files and run the typedtree pass (repeatable)" );
+      ( "--sarif",
+        Arg.String (fun f -> sarif_file := Some f),
+        "FILE  also write the findings as SARIF 2.1.0 to FILE" );
     ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
-  let paths = List.rev !paths in
-  if paths = [] then (
+  let paths = List.rev !paths and cmt_dirs = List.rev !cmt_dirs in
+  if paths = [] && cmt_dirs = [] then (
     prerr_endline usage;
     exit 2);
   let allow =
@@ -36,8 +56,26 @@ let () =
           Printf.eprintf "dynlint: %s\n" m;
           exit 2)
   in
-  let findings = Lint.lint_tree ~allow ~root:!root paths in
+  let tracker = Lint.new_tracker () in
+  let syntactic =
+    if paths = [] then [] else Lint.lint_tree ~allow ~tracker ~root:!root paths
+  in
+  let typed =
+    if cmt_dirs = [] then []
+    else Lint_typed.lint_cmt_dirs ~allow ~tracker ~source_root:!root cmt_dirs
+  in
+  let in_scope rule =
+    match rule with
+    | Lint.Parallel_race | Lint.Protocol | Lint.Rng_taint -> cmt_dirs <> []
+    | Lint.Stale_allow -> true
+    | _ -> paths <> []
+  in
+  let stale = Lint.stale_findings ~in_scope ~allow tracker in
+  let findings = List.sort Lint.compare_findings (syntactic @ typed @ stale) in
   List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings;
+  (match !sarif_file with
+  | Some f -> Sarif.write ~file:f findings
+  | None -> ());
   match findings with
   | [] -> ()
   | fs ->

@@ -1,4 +1,14 @@
-type rule = Global_state | Ambient | Poly_compare | Unsafe | Mli | Stdout
+type rule =
+  | Global_state
+  | Ambient
+  | Poly_compare
+  | Unsafe
+  | Mli
+  | Stdout
+  | Parallel_race
+  | Protocol
+  | Rng_taint
+  | Stale_allow
 
 let rule_id = function
   | Global_state -> "D1"
@@ -7,6 +17,10 @@ let rule_id = function
   | Unsafe -> "D4"
   | Mli -> "D5"
   | Stdout -> "D6"
+  | Parallel_race -> "D7"
+  | Protocol -> "D8"
+  | Rng_taint -> "D9"
+  | Stale_allow -> "D10"
 
 let rule_name = function
   | Global_state -> "global-state"
@@ -15,8 +29,46 @@ let rule_name = function
   | Unsafe -> "unsafe"
   | Mli -> "mli"
   | Stdout -> "stdout"
+  | Parallel_race -> "parallel-race"
+  | Protocol -> "protocol-conformance"
+  | Rng_taint -> "rng-taint"
+  | Stale_allow -> "stale-allow"
 
-let all_rules = [ Global_state; Ambient; Poly_compare; Unsafe; Mli; Stdout ]
+let rule_help = function
+  | Global_state ->
+      "Top-level mutable allocation in lib/ is shared across Pool domains."
+  | Ambient ->
+      "Ambient randomness or wall-clock time breaks seeded replay; only the \
+       seeded Rng and simulated Net time exist in the model."
+  | Poly_compare ->
+      "Polymorphic compare/hash is visit-order dependent on mutable values; \
+       use a monomorphic comparator."
+  | Unsafe -> "Obj.magic, Marshal and unannotated assert false are forbidden."
+  | Mli -> "Every lib module declares its surface in an .mli."
+  | Stdout -> "lib/ code must not write to stdout; use telemetry or return values."
+  | Parallel_race ->
+      "A closure handed to Pool.map/Pool.run/Explore.sweep captures a mutable \
+       value defined outside it: that value is shared across domains and the \
+       -j N = -j 1 byte-determinism contract breaks."
+  | Protocol ->
+      "Every tag sent through Net.send must appear in the protocol's declared \
+       tag universe ([@@dynlint.tag_universe]), and every declared tag must be \
+       sent somewhere: a silently dropped tag produces a plausible but wrong \
+       message count, not a crash."
+  | Rng_taint ->
+      "Every Rng.t must flow from a function parameter or an explicit \
+       Rng.create ~seed, never from a module-level binding: module-level RNG \
+       state is drawn from in whatever order domains interleave."
+  | Stale_allow ->
+      "This allowlist entry or inline allow comment suppresses nothing; dead \
+       exceptions accumulate until they hide a real regression."
+
+let all_rules =
+  [
+    Global_state; Ambient; Poly_compare; Unsafe; Mli; Stdout; Parallel_race;
+    Protocol; Rng_taint; Stale_allow;
+  ]
+
 let rule_of_name s = List.find_opt (fun r -> rule_name r = s) all_rules
 
 type finding = {
@@ -31,12 +83,52 @@ let finding_to_string f =
   Printf.sprintf "%s:%d:%d [%s %s] %s" f.file f.line f.col (rule_id f.rule)
     (rule_name f.rule) f.msg
 
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> Int.compare a.col b.col
+      | c -> c)
+  | c -> c
+
 (* ------------------------------------------------------------------ *)
 (* allowlisting                                                        *)
 
-type allow = (rule * string) list
+type allow_entry = {
+  arule : rule;
+  suffix : string;
+  pin : bool;  (* standing-policy entry, exempt from staleness *)
+  aline : int;  (* 1-indexed line in the allow file, for stale reports *)
+}
 
-let no_allow = []
+type allow = { entries : allow_entry list; allow_path : string }
+
+let no_allow = { entries = []; allow_path = "" }
+
+(* Which suppressions actually suppressed something, plus every inline
+   allow-comment site seen, so the driver can report stale ones. All three
+   lists are deduplicated on insert; the scale is tens of entries. *)
+type tracker = {
+  mutable used_entries : (rule * string) list;
+  mutable used_inline : (string * int) list;  (* file, comment line *)
+  mutable inline_sites : (string * int * rule) list;
+}
+
+let new_tracker () = { used_entries = []; used_inline = []; inline_sites = [] }
+
+let mark_entry tracker (e : allow_entry) =
+  match tracker with
+  | None -> ()
+  | Some t ->
+      let k = (e.arule, e.suffix) in
+      if not (List.mem k t.used_entries) then t.used_entries <- k :: t.used_entries
+
+let mark_inline tracker file line =
+  match tracker with
+  | None -> ()
+  | Some t ->
+      let k = (file, line) in
+      if not (List.mem k t.used_inline) then t.used_inline <- k :: t.used_inline
 
 let is_path_suffix ~suffix path =
   (* [suffix] matches [path] on whole /-separated components from the end *)
@@ -45,8 +137,15 @@ let is_path_suffix ~suffix path =
   && String.sub path (lp - ls) ls = suffix
   && (ls = lp || path.[lp - ls - 1] = '/')
 
-let file_allowed allow rule path =
-  List.exists (fun (r, suffix) -> r = rule && is_path_suffix ~suffix path) allow
+let file_allowed ?tracker allow rule path =
+  List.exists
+    (fun e ->
+      if e.arule = rule && is_path_suffix ~suffix:e.suffix path then begin
+        mark_entry tracker e;
+        true
+      end
+      else false)
+    allow.entries
 
 let load_allow_file path =
   let ic = open_in path in
@@ -54,30 +153,36 @@ let load_allow_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let entries = ref [] in
+      let lineno = ref 0 in
       (try
          while true do
            let raw = input_line ic in
+           incr lineno;
            let line =
              match String.index_opt raw '#' with
              | Some i -> String.sub raw 0 i
              | None -> raw
            in
+           let entry ~pin name suffix =
+             match rule_of_name name with
+             | Some r ->
+                 entries := { arule = r; suffix; pin; aline = !lineno } :: !entries
+             | None ->
+                 failwith (Printf.sprintf "%s: unknown dynlint rule %S" path name)
+           in
            match String.split_on_char ' ' (String.trim line) with
            | [ "" ] -> ()
-           | [ name; suffix ] -> (
-               match rule_of_name name with
-               | Some r -> entries := (r, suffix) :: !entries
-               | None ->
-                   failwith
-                     (Printf.sprintf "%s: unknown dynlint rule %S" path name))
+           | [ name; suffix ] -> entry ~pin:false name suffix
+           | [ "pin"; name; suffix ] -> entry ~pin:true name suffix
            | _ ->
                failwith
                  (Printf.sprintf
-                    "%s: malformed allow entry %S (want: <rule-name> <path>)"
+                    "%s: malformed allow entry %S (want: [pin] <rule-name> \
+                     <path>)"
                     path raw)
          done
        with End_of_file -> ());
-      List.rev !entries)
+      { entries = List.rev !entries; allow_path = path })
 
 let contains_substring hay needle =
   let lh = String.length hay and ln = String.length needle in
@@ -86,10 +191,107 @@ let contains_substring hay needle =
 
 (* A finding on line [l] is suppressed by "dynlint: allow <rule-name>" on
    line [l] or [l-1] (1-indexed). *)
-let line_allowed lines rule l =
+let line_allowed ?tracker ~file lines rule l =
   let tag = "dynlint: allow " ^ rule_name rule in
   let has l = l >= 1 && l <= Array.length lines && contains_substring lines.(l - 1) tag in
-  has l || has (l - 1)
+  if has l then begin
+    mark_inline tracker file l;
+    true
+  end
+  else if has (l - 1) then begin
+    mark_inline tracker file (l - 1);
+    true
+  end
+  else false
+
+(* Register every "dynlint: allow <rule-name>" site in [lines] with the
+   tracker, so unused ones can be reported as stale. The rule name is the
+   longest [a-z-] token following the marker; unknown names are ignored
+   (they never suppress anything either). *)
+let inline_marker = "dynlint: allow "
+
+let scan_inline_allows ?tracker ~file lines =
+  match tracker with
+  | None -> ()
+  | Some t ->
+      Array.iteri
+        (fun i line ->
+          let lm = String.length inline_marker in
+          let ll = String.length line in
+          let rec find_from ofs =
+            if ofs + lm > ll then ()
+            else if String.sub line ofs lm = inline_marker then begin
+              let start = ofs + lm in
+              let stop = ref start in
+              while
+                !stop < ll
+                && (match line.[!stop] with 'a' .. 'z' | '-' -> true | _ -> false)
+              do
+                incr stop
+              done;
+              (match rule_of_name (String.sub line start (!stop - start)) with
+              | Some r ->
+                  let k = (file, i + 1, r) in
+                  if not (List.mem k t.inline_sites) then
+                    t.inline_sites <- k :: t.inline_sites
+              | None -> ());
+              find_from !stop
+            end
+            else find_from (ofs + 1)
+          in
+          find_from 0)
+        lines
+
+(* Stale-suppression report: allow-file entries (unless pinned) and inline
+   allow comments that suppressed no finding across every pass the tracker
+   saw. [in_scope] restricts the report to rules a pass actually ran — a
+   typed-only invocation must not call the parsetree rules' suppressions
+   stale (and vice versa). *)
+let stale_findings ?(in_scope = fun _ -> true) ~allow tracker =
+  let entry_findings =
+    List.filter_map
+      (fun e ->
+        if
+          e.pin
+          || (not (in_scope e.arule))
+          || List.mem (e.arule, e.suffix) tracker.used_entries
+        then None
+        else
+          Some
+            {
+              file = allow.allow_path;
+              line = e.aline;
+              col = 0;
+              rule = Stale_allow;
+              msg =
+                Printf.sprintf
+                  "allow entry \"%s %s\" suppresses nothing; delete it or mark \
+                   it \"pin\" with a written policy reason"
+                  (rule_name e.arule) e.suffix;
+            })
+      allow.entries
+  in
+  let inline_findings =
+    List.filter_map
+      (fun (file, line, r) ->
+        if (not (in_scope r)) || List.mem (file, line) tracker.used_inline then
+          None
+        else
+          Some
+            {
+              file;
+              line;
+              col = 0;
+              rule = Stale_allow;
+              msg =
+                Printf.sprintf
+                  "inline \"dynlint: allow %s\" suppresses nothing on this or \
+                   the next line; delete it"
+                  (rule_name r);
+            })
+      tracker.inline_sites
+  in
+  List.sort compare_findings (entry_findings @ inline_findings)
 
 (* ------------------------------------------------------------------ *)
 (* parsetree helpers                                                   *)
@@ -201,11 +403,16 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_structure ?(allow = no_allow) ~ctx ~path ~lines str =
+let source_lines path =
+  Array.of_list (String.split_on_char '\n' (read_file path))
+
+let lint_structure ?(allow = no_allow) ?tracker ~ctx ~path ~lines str =
   let findings = ref [] in
   let flag rule loc msg =
     let line, col = loc_pos loc in
-    if (not (line_allowed lines rule line)) && not (file_allowed allow rule path)
+    if
+      (not (line_allowed ?tracker ~file:path lines rule line))
+      && not (file_allowed ?tracker allow rule path)
     then findings := { file = path; line; col; rule; msg } :: !findings
   in
   (* D1: scan a top-level binding's RHS, stopping at function boundaries —
@@ -298,11 +505,13 @@ let lint_structure ?(allow = no_allow) ~ctx ~path ~lines str =
   it.structure it str;
   List.rev !findings
 
-let lint_file ?(allow = no_allow) ~ctx path =
+let lint_file ?(allow = no_allow) ?tracker ?display ~ctx path =
+  let display = Option.value display ~default:path in
   let source = read_file path in
   let lines = Array.of_list (String.split_on_char '\n' source) in
+  scan_inline_allows ?tracker ~file:display lines;
   match parse_structure path source with
-  | str -> lint_structure ~allow ~ctx ~path ~lines str
+  | str -> lint_structure ~allow ?tracker ~ctx ~path:display ~lines str
   | exception exn ->
       let line, col, detail =
         match Location.error_of_exn exn with
@@ -313,7 +522,7 @@ let lint_file ?(allow = no_allow) ~ctx path =
       in
       [
         {
-          file = path;
+          file = display;
           line;
           col;
           rule = Unsafe;
@@ -321,8 +530,9 @@ let lint_file ?(allow = no_allow) ~ctx path =
         };
       ]
 
-let check_mli ?(allow = no_allow) path =
-  if file_allowed allow Mli path then None
+let check_mli ?(allow = no_allow) ?tracker ?display path =
+  let display = Option.value display ~default:path in
+  if file_allowed ?tracker allow Mli display then None
   else
     let mli = Filename.remove_extension path ^ ".mli" in
     if Sys.file_exists mli then None
@@ -335,23 +545,30 @@ let check_mli ?(allow = no_allow) path =
               | x :: tl when n > 0 -> x :: first_lines (n - 1) tl
               | _ -> []
             in
-            List.exists
-              (fun l -> contains_substring l "dynlint: allow mli")
-              (first_lines 3 (String.split_on_char '\n' source))
-        | exception Sys_error _ -> false
+            let rec scan i = function
+              | [] -> None
+              | l :: tl ->
+                  if contains_substring l "dynlint: allow mli" then Some i
+                  else scan (i + 1) tl
+            in
+            scan 1 (first_lines 3 (String.split_on_char '\n' source))
+        | exception Sys_error _ -> None
       in
-      if head_allows then None
-      else
-        Some
-          {
-            file = path;
-            line = 1;
-            col = 0;
-            rule = Mli;
-            msg =
-              "missing interface " ^ Filename.basename mli
-              ^ ": every lib module declares its surface";
-          }
+      match head_allows with
+      | Some l ->
+          mark_inline tracker display l;
+          None
+      | None ->
+          Some
+            {
+              file = display;
+              line = 1;
+              col = 0;
+              rule = Mli;
+              msg =
+                "missing interface " ^ Filename.basename mli
+                ^ ": every lib module declares its surface";
+            }
 
 (* ------------------------------------------------------------------ *)
 (* tree walk                                                           *)
@@ -369,7 +586,7 @@ let rec walk_dir acc dir =
         else acc)
     acc entries
 
-let lint_tree ?(allow = no_allow) ~root dirs =
+let lint_tree ?(allow = no_allow) ?tracker ~root dirs =
   let files =
     List.concat_map
       (fun d ->
@@ -392,18 +609,12 @@ let lint_tree ?(allow = no_allow) ~root dirs =
       (fun abs ->
         let path = rel abs in
         let ctx = ctx_of_path path in
-        let fs = lint_file ~allow ~ctx abs in
-        let fs = List.map (fun f -> { f with file = path }) fs in
+        let fs = lint_file ~allow ?tracker ~display:path ~ctx abs in
         if ctx.lib && not ctx.test then
-          match check_mli ~allow abs with
-          | Some f -> fs @ [ { f with file = path } ]
+          match check_mli ~allow ?tracker ~display:path abs with
+          | Some f -> fs @ [ f ]
           | None -> fs
         else fs)
       files
   in
-  List.sort
-    (fun a b ->
-      match String.compare a.file b.file with
-      | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
-      | c -> c)
-    findings
+  List.sort compare_findings findings

@@ -1,10 +1,12 @@
 (** dynlint: repo-specific determinism & domain-safety lint rules.
 
     Each rule is motivated by a bug this repo already shipped (or nearly
-    shipped); see DESIGN.md "Static analysis". Rules operate on the
+    shipped); see DESIGN.md "Static analysis". D1-D6 operate on the
     parsetree (compiler-libs [Parse] + [Ast_iterator]) — no typing pass —
     so they are fast and run on any file that parses, at the cost of a few
-    syntactic heuristics (documented per rule below).
+    syntactic heuristics. D7-D9 need types and cross-module visibility and
+    live in the typedtree pass ({!Lint_typed}, reading [.cmt] files); D10
+    is computed by the driver from the {!tracker} both passes share.
 
     {2 Rules}
 
@@ -25,15 +27,31 @@
     - [D5 mli]: every [lib/**/*.ml] has a matching [.mli].
     - [D6 stdout]: [print_*]/[Printf.printf]/[Format.printf] in [lib/];
       output must go through telemetry sinks or returned values.
+    - [D7 parallel-race] (typed): a closure passed to [Pool.map]/[Pool.run]/
+      [Pool.iter]/[Explore.sweep] captures a mutable value ([ref],
+      [Hashtbl.t], [Buffer.t], [Queue.t], [Stack.t], [Atomic.t], [Net.t],
+      [Rng.t], [Dtree.t], [Metrics.t], [Sink.t]) defined outside the
+      closure, or touches module-level mutable state: shared across domains.
+    - [D8 protocol-conformance] (typed): the string literals flowing into
+      [Net.send ~tag:] versus the tags declared in a binding carrying the
+      [[@@dynlint.tag_universe]] attribute; reports sent-but-never-declared
+      tags and declared-but-never-sent dead arms.
+    - [D9 rng-taint] (typed): an [Rng.t] bound at module level, or drawn
+      from another module's value, instead of flowing from a function
+      parameter or an explicit [Rng.create ~seed].
+    - [D10 stale-allow] (driver): an allow-file entry or inline allow
+      comment that suppressed no finding across the whole run.
 
     {2 Allowlisting}
 
     A finding on line [l] is suppressed when line [l] or line [l-1]
     contains [dynlint: allow <rule-name>] (in a comment by convention; the
     scan is textual). Whole files are suppressed through an allow file
-    (see {!load_allow_file}): lines of the form [<rule-name> <path>],
+    (see {!load_allow_file}): lines of the form [[pin] <rule-name> <path>],
     [#]-comments and blanks ignored; the path matches any linted file whose
-    [/]-separated path ends with it. *)
+    [/]-separated path ends with it. The optional [pin] keyword marks a
+    standing-policy entry that is exempt from D10 staleness — the entry
+    documents a contract even while nothing currently violates it. *)
 
 type rule =
   | Global_state  (** D1 *)
@@ -42,13 +60,24 @@ type rule =
   | Unsafe  (** D4 *)
   | Mli  (** D5 *)
   | Stdout  (** D6 *)
+  | Parallel_race  (** D7, typedtree pass *)
+  | Protocol  (** D8, typedtree pass *)
+  | Rng_taint  (** D9, typedtree pass *)
+  | Stale_allow  (** D10, driver *)
 
 val rule_id : rule -> string
-(** ["D1"] .. ["D6"]. *)
+(** ["D1"] .. ["D10"]. *)
 
 val rule_name : rule -> string
 (** The allowlist token: ["global-state"], ["ambient"], ["poly-compare"],
-    ["unsafe"], ["mli"], ["stdout"]. *)
+    ["unsafe"], ["mli"], ["stdout"], ["parallel-race"],
+    ["protocol-conformance"], ["rng-taint"], ["stale-allow"]. *)
+
+val rule_help : rule -> string
+(** One-sentence rationale, used as the SARIF rule description. *)
+
+val all_rules : rule list
+(** Every rule, in id order. *)
 
 val rule_of_name : string -> rule option
 
@@ -64,14 +93,52 @@ val finding_to_string : finding -> string
 (** [file:line:col [id rule-name] msg] — the exact line the executable
     prints. *)
 
+val compare_findings : finding -> finding -> int
+(** Order by (file, line, col). *)
+
 type allow
-(** Parsed allow file: (rule, path-suffix) entries. *)
+(** Parsed allow file: (rule, path-suffix) entries, with pin flags. *)
 
 val no_allow : allow
 
 val load_allow_file : string -> allow
 (** @raise Sys_error if the file cannot be read.
     @raise Failure on a malformed line (unknown rule name). *)
+
+type tracker
+(** Mutable record of which suppressions (allow-file entries and inline
+    allow comments) actually fired, and of every inline allow site seen.
+    Share one tracker across the parsetree and typedtree passes, then call
+    {!stale_findings} for the D10 report. *)
+
+val new_tracker : unit -> tracker
+
+val stale_findings :
+  ?in_scope:(rule -> bool) -> allow:allow -> tracker -> finding list
+(** D10: non-[pin] allow entries and inline allow comments that suppressed
+    nothing across everything the tracker saw. [in_scope] (default:
+    everything) restricts the report to rules that actually ran — a
+    typed-only invocation must not call a parsetree rule's suppressions
+    stale. Sorted by (file, line). *)
+
+val file_allowed : ?tracker:tracker -> allow -> rule -> string -> bool
+(** Does an allow entry suppress [rule] for this path? Marks the entry used
+    in the tracker when it does. *)
+
+val line_allowed :
+  ?tracker:tracker -> file:string -> string array -> rule -> int -> bool
+(** Is a finding for [rule] on 1-indexed line [l] suppressed by an inline
+    allow comment on line [l] or [l-1]? Marks the comment used. *)
+
+val scan_inline_allows : ?tracker:tracker -> file:string -> string array -> unit
+(** Register every [dynlint: allow <rule-name>] site in the file's lines
+    with the tracker (so unused ones can be reported stale). No-op without
+    a tracker. *)
+
+val source_lines : string -> string array
+(** The file's lines, for {!line_allowed}/{!scan_inline_allows} callers
+    outside this module (the typedtree pass).
+    @raise Sys_error if the file cannot be read. *)
 
 (** Which rule groups apply to a file, by where it lives in the tree. *)
 type ctx = {
@@ -83,17 +150,24 @@ val ctx_of_path : string -> ctx
 (** Classify a [/]-separated path: [lib/...] is lib code, [test/...] or any
     [.../test/...] segment is test code. *)
 
-val lint_file : ?allow:allow -> ctx:ctx -> string -> finding list
-(** Parse one [.ml] file and run every applicable syntactic rule (D1–D4,
+val lint_file :
+  ?allow:allow -> ?tracker:tracker -> ?display:string -> ctx:ctx -> string ->
+  finding list
+(** Parse one [.ml] file and run every applicable syntactic rule (D1-D4,
     D6). A file that does not parse yields a single D4 finding at the error
     location (an unparseable file cannot be vouched for). Findings are in
-    source order. *)
+    source order and carry [display] (default: the path itself) as their
+    file. *)
 
-val check_mli : ?allow:allow -> string -> finding option
+val check_mli :
+  ?allow:allow -> ?tracker:tracker -> ?display:string -> string ->
+  finding option
 (** D5 for one [.ml] path: [Some finding] when the sibling [.mli] is
     missing. *)
 
-val lint_tree : ?allow:allow -> root:string -> string list -> finding list
+val lint_tree :
+  ?allow:allow -> ?tracker:tracker -> root:string -> string list ->
+  finding list
 (** Walk the given directories (relative to [root]) recursively in sorted
     order, lint every [.ml] with {!lint_file} under its {!ctx_of_path}
     classification, and apply {!check_mli} to lib files. [_build], [.git]

@@ -1,0 +1,391 @@
+(* The typedtree pass: D7/D8/D9 over .cmt files.
+
+   Where lint.ml works purely syntactically, these rules need types (is
+   this captured value a Hashtbl.t?) and cross-module visibility (is this
+   tag literal declared in *any* compilation unit's tag universe?), so
+   they read the .cmt files that `dune build @check` leaves under
+   _build/**/.objs/byte/.
+
+   Path matching is by suffix on the normalized component list: a [Path.t]
+   is flattened to its dotted components and every component is further
+   split on "__", so [Pool.map], [Util.Pool.map] and the wrapped-library
+   spelling [Mylib__Pool.map] all normalize to something ending in
+   ["Pool"; "map"]. This keeps the rules working across wrapped and
+   unwrapped libraries and across local module aliases. *)
+
+open Typedtree
+
+(* ---------- path and type normalization ---------- *)
+
+(* "Mylib__Pool" -> ["Mylib"; "Pool"]; plain "tag_universe" is untouched
+   (only double underscores split). *)
+let split_dunder s =
+  let n = String.length s in
+  let rec go acc start i =
+    if i + 1 >= n then List.rev (String.sub s start (n - start) :: acc)
+    else if s.[i] = '_' && s.[i + 1] = '_' then
+      go (String.sub s start (i - start) :: acc) (i + 2) (i + 2)
+    else go acc start (i + 1)
+  in
+  if n = 0 then [ s ] else go [] 0 0
+
+let rec path_components acc = function
+  | Path.Pident id -> Ident.name id :: acc
+  | Path.Pdot (p, s) -> path_components (s :: acc) p
+  | Path.Papply (p, _) -> path_components acc p
+  | Path.Pextra_ty (p, _) -> path_components acc p
+
+let norm_path p = List.concat_map split_dunder (path_components [] p)
+let display_path p = String.concat "." (norm_path p)
+
+let drop_stdlib = function "Stdlib" :: (_ :: _ as rest) -> rest | c -> c
+
+let ends_with ~suffix comps =
+  let lc = List.length comps and ls = List.length suffix in
+  lc >= ls
+  &&
+  let rec drop n l =
+    if n = 0 then l else match l with _ :: t -> drop (n - 1) t | [] -> []
+  in
+  drop (lc - ls) comps = suffix
+
+(* The parallel entry points whose closure arguments run on Pool domains. *)
+let parallel_target p =
+  let c = norm_path p in
+  let hit m f = ends_with ~suffix:[ m; f ] c in
+  if hit "Pool" "map" then Some "Pool.map"
+  else if hit "Pool" "run" then Some "Pool.run"
+  else if hit "Pool" "iter" then Some "Pool.iter"
+  else if hit "Explore" "sweep" then Some "Explore.sweep"
+  else None
+
+let is_net_send p = ends_with ~suffix:[ "Net"; "send" ] (norm_path p)
+
+(* Types whose values are mutable through their public API: sharing one
+   across Pool domains is a race. "ref" is special-cased (its head is
+   Stdlib.ref, not M.t). *)
+let mutable_containers =
+  [ "Hashtbl"; "Buffer"; "Queue"; "Stack"; "Atomic"; "Net"; "Rng"; "Dtree"; "Metrics"; "Sink" ]
+
+let mutable_type_name ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+      match List.rev (drop_stdlib (norm_path p)) with
+      | "ref" :: _ -> Some "ref"
+      | "t" :: m :: _ when List.mem m mutable_containers -> Some (m ^ ".t")
+      | _ -> None)
+  | _ -> None
+
+let is_rng_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+      ends_with ~suffix:[ "Rng"; "t" ] (drop_stdlib (norm_path p))
+  | _ -> false
+
+let finding_of_loc rule msg (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    Lint.file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    rule;
+    msg;
+  }
+
+(* ---------- D7: closure-capture analysis ---------- *)
+
+(* Every ident bound anywhere inside the closure: function params, case
+   patterns, let patterns, for-loop indices. A used ident NOT in this set
+   is a capture from the enclosing scope. *)
+let bound_idents_of_closure (e : expression) =
+  let bound = Hashtbl.create 16 in
+  let add id = Hashtbl.replace bound (Ident.unique_name id) () in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) self (p : k general_pattern) ->
+          (match p.pat_desc with
+          | Tpat_var (id, _) -> add id
+          | Tpat_alias (_, id, _) -> add id
+          | _ -> ());
+          Tast_iterator.default_iterator.pat self p);
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_for (id, _, _, _, _, _) -> add id
+          | Texp_function { param; _ } -> add param
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  bound
+
+let closure_findings ~target ~emit (closure : expression) =
+  let bound = bound_idents_of_closure closure in
+  let reported = Hashtbl.create 8 in
+  let once key f = if not (Hashtbl.mem reported key) then (Hashtbl.replace reported key (); f ()) in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_ident (Path.Pident id, _, _)
+            when not (Hashtbl.mem bound (Ident.unique_name id)) -> (
+              match mutable_type_name e.exp_type with
+              | Some ty ->
+                  once (Ident.unique_name id) (fun () ->
+                      emit Lint.Parallel_race e.exp_loc
+                        (Printf.sprintf
+                           "closure passed to %s captures mutable %s '%s' defined outside the closure; give each parallel task its own state and merge at join (-j N must stay byte-identical to -j 1)"
+                           target ty (Ident.name id)))
+              | None -> ())
+          | Texp_ident ((Path.Pdot _ as p), _, _) -> (
+              match mutable_type_name e.exp_type with
+              | Some ty ->
+                  let name = display_path p in
+                  once name (fun () ->
+                      emit Lint.Parallel_race e.exp_loc
+                        (Printf.sprintf
+                           "closure passed to %s reaches module-level mutable %s '%s'; module state is shared across every Pool domain"
+                           target ty name))
+              | None -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it closure
+
+(* Find the outermost closures in an argument expression (the closure may
+   sit under List.map, a tuple, a record, ...) and analyze each. Nested
+   closures are covered by the outer analysis: anything they capture from
+   outside the outermost closure is still a capture. *)
+let analyze_closures ~target ~emit (e : expression) =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e' ->
+          match e'.exp_desc with
+          | Texp_function _ -> closure_findings ~target ~emit e'
+          | _ -> Tast_iterator.default_iterator.expr self e');
+    }
+  in
+  it.expr it e
+
+(* ---------- D8/D9 collection ---------- *)
+
+(* String constants anywhere under an expression — both expression literals
+   and pattern literals, so a universe declared as a list OR matched in a
+   dispatch function both contribute. *)
+let string_consts_in (e : expression) =
+  let acc = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_constant (Asttypes.Const_string (s, _, _)) ->
+              acc := (s, e.exp_loc) :: !acc
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+      pat =
+        (fun (type k) self (p : k general_pattern) ->
+          (match p.pat_desc with
+          | Tpat_constant (Asttypes.Const_string (s, _, _)) ->
+              acc := (s, p.pat_loc) :: !acc
+          | _ -> ());
+          Tast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.expr it e;
+  List.rev !acc
+
+let universe_attr = "dynlint.tag_universe"
+
+let has_universe_attr attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = universe_attr)
+    attrs
+
+(* D9 part one: Rng.t bound at module level (top-level structure items and
+   nested module structures — not expression-local bindings, which are
+   exactly where an Rng *should* live). *)
+let rec d9_structure ~emit (str : structure) =
+  List.iter
+    (fun (item : structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter (fun vb -> d9_pattern ~emit vb.vb_pat) vbs
+      | Tstr_module mb -> d9_module ~emit mb.mb_expr
+      | Tstr_recmodule mbs -> List.iter (fun mb -> d9_module ~emit mb.mb_expr) mbs
+      | _ -> ())
+    str.str_items
+
+and d9_module ~emit (me : module_expr) =
+  match me.mod_desc with
+  | Tmod_structure s -> d9_structure ~emit s
+  | Tmod_constraint (me', _, _, _) -> d9_module ~emit me'
+  | _ -> ()
+
+and d9_pattern ~emit (p : pattern) =
+  match p.pat_desc with
+  | Tpat_var (id, _) when is_rng_type p.pat_type ->
+      emit Lint.Rng_taint p.pat_loc
+        (Printf.sprintf
+           "module-level Rng.t '%s': every generator must flow from a function parameter or a local Rng.create ~seed, or replays stop being reproducible"
+           (Ident.name id))
+  | Tpat_alias (sub, id, _) ->
+      if is_rng_type p.pat_type then
+        emit Lint.Rng_taint p.pat_loc
+          (Printf.sprintf
+             "module-level Rng.t '%s': every generator must flow from a function parameter or a local Rng.create ~seed, or replays stop being reproducible"
+             (Ident.name id))
+      else d9_pattern ~emit sub
+  | Tpat_tuple ps -> List.iter (d9_pattern ~emit) ps
+  | Tpat_construct (_, _, ps, _) -> List.iter (d9_pattern ~emit) ps
+  | _ -> ()
+
+(* One walk per structure: D7 at parallel call sites, D8 send-site literal
+   harvesting, D8 universe harvesting, D9 cross-module Rng reads. *)
+let scan_structure ~emit ~d8_sent ~d8_declared (str : structure) =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+              match parallel_target p with
+              | Some target ->
+                  List.iter
+                    (function
+                      | _, Some arg -> analyze_closures ~target ~emit arg
+                      | _, None -> ())
+                    args
+              | None ->
+                  if is_net_send p then
+                    List.iter
+                      (function
+                        | Asttypes.Labelled "tag", Some arg ->
+                            d8_sent := string_consts_in arg @ !d8_sent
+                        | _ -> ())
+                      args)
+          | Texp_ident ((Path.Pdot _ as p), _, _) when is_rng_type e.exp_type ->
+              emit Lint.Rng_taint e.exp_loc
+                (Printf.sprintf
+                   "Rng.t read from module-level value '%s'; thread the generator through as a parameter instead"
+                   (display_path p))
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+      structure_item =
+        (fun self item ->
+          (match item.str_desc with
+          | Tstr_value (_, vbs) ->
+              List.iter
+                (fun vb ->
+                  if has_universe_attr vb.vb_attributes then
+                    d8_declared := string_consts_in vb.vb_expr @ !d8_declared)
+                vbs
+          | _ -> ());
+          Tast_iterator.default_iterator.structure_item self item);
+    }
+  in
+  it.structure it str;
+  d9_structure ~emit str
+
+(* ---------- cmt loading and the pass driver ---------- *)
+
+let collect_cmt_files dirs =
+  let acc = ref [] in
+  let rec walk d =
+    match Sys.readdir d with
+    | exception Sys_error _ -> ()
+    | entries ->
+        Array.sort compare entries;
+        Array.iter
+          (fun e ->
+            let p = Filename.concat d e in
+            if (try Sys.is_directory p with Sys_error _ -> false) then walk p
+            else if Filename.check_suffix e ".cmt" then acc := p :: !acc)
+          entries
+  in
+  List.iter
+    (fun d -> if (try Sys.is_directory d with Sys_error _ -> false) then walk d else if Sys.file_exists d then acc := d :: !acc)
+    dirs;
+  List.rev !acc
+
+let lint_cmt_files ?(allow = Lint.no_allow) ?tracker ?(source_root = ".") cmts =
+  let seen_sources = Hashtbl.create 16 in
+  let findings = ref [] in
+  let d8_sent = ref [] and d8_declared = ref [] in
+  (* Lines of each linted source, for inline-allow suppression. Sources
+     that cannot be found (e.g. a cmt linted outside its workspace) fall
+     back to allow-file-only suppression. *)
+  let lines_cache = Hashtbl.create 16 in
+  let source_lines_of file =
+    match Hashtbl.find_opt lines_cache file with
+    | Some l -> l
+    | None ->
+        let l =
+          let p = Filename.concat source_root file in
+          if Sys.file_exists p then (
+            let lines = Lint.source_lines p in
+            Lint.scan_inline_allows ?tracker ~file lines;
+            Some lines)
+          else None
+        in
+        Hashtbl.add lines_cache file l;
+        l
+  in
+  let emit rule loc msg =
+    let f = finding_of_loc rule msg loc in
+    if not (Lint.file_allowed ?tracker allow rule f.Lint.file) then
+      match source_lines_of f.Lint.file with
+      | Some lines when Lint.line_allowed ?tracker ~file:f.Lint.file lines rule f.Lint.line ->
+          ()
+      | _ -> findings := f :: !findings
+  in
+  List.iter
+    (fun cmt ->
+      match Cmt_format.read_cmt cmt with
+      | exception _ -> ()
+      | info -> (
+          match (info.Cmt_format.cmt_annots, info.Cmt_format.cmt_sourcefile) with
+          | Cmt_format.Implementation str, Some src
+            when Filename.check_suffix src ".ml"
+                 && not (Hashtbl.mem seen_sources src) ->
+              Hashtbl.replace seen_sources src ();
+              (* Touch the source now so its inline allow sites register
+                 with the tracker even when the file is finding-free. *)
+              ignore (source_lines_of src);
+              scan_structure ~emit ~d8_sent ~d8_declared str
+          | _ -> ()))
+    cmts;
+  (* D8 is global: compare the sent and declared literal sets across every
+     scanned compilation unit. *)
+  let declared = List.rev !d8_declared and sent = List.rev !d8_sent in
+  let declared_tags = List.map fst declared and sent_tags = List.map fst sent in
+  List.iter
+    (fun (tag, loc) ->
+      if not (List.mem tag declared_tags) then
+        emit Lint.Protocol loc
+          (Printf.sprintf
+             "tag %S is sent but appears in no [@@dynlint.tag_universe] declaration: no handler owns it"
+             tag))
+    sent;
+  List.iter
+    (fun (tag, loc) ->
+      if not (List.mem tag sent_tags) then
+        emit Lint.Protocol loc
+          (Printf.sprintf
+             "declared tag %S is never sent: dead handler arm or stale universe entry"
+             tag))
+    declared;
+  List.sort_uniq Stdlib.compare !findings
+
+let lint_cmt_dirs ?allow ?tracker ?source_root dirs =
+  lint_cmt_files ?allow ?tracker ?source_root (collect_cmt_files dirs)

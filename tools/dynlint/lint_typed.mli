@@ -1,0 +1,56 @@
+(** The typedtree pass: D7 (parallel-race), D8 (protocol-conformance) and
+    D9 (rng-taint) over the [.cmt] files that [dune build @check] produces.
+
+    - [D7]: a closure passed to [Pool.map]/[Pool.run]/[Pool.iter]/
+      [Explore.sweep] captures a value of mutable type ([ref], [Hashtbl.t],
+      [Buffer.t], [Queue.t], [Stack.t], [Atomic.t], [Net.t], [Rng.t],
+      [Dtree.t], [Metrics.t], [Sink.t]) bound outside the closure, or reads
+      module-level mutable state — either way the value is shared across
+      Pool domains. Limitation: only closures syntactically present at the
+      call site are analyzed; a closure bound to a name first and passed as
+      an ident is not chased.
+    - [D8]: the string literals flowing into [Net.send ~tag:] (collected
+      recursively from the labelled argument, so helper calls like
+      [tag t "agent-up"] count) are compared globally against the literals
+      declared under any [let] binding carrying the
+      [[@@dynlint.tag_universe]] attribute. Sent-but-undeclared tags are
+      reported at the send literal; declared-but-never-sent tags (dead
+      arms) at the declaration literal.
+    - [D9]: an [Rng.t] bound at module level (including nested modules), or
+      read from another module's value, is flagged; generators must flow
+      from function parameters or a local [Rng.create ~seed].
+
+    Path and type heads are matched by suffix on "__"-split components, so
+    wrapped libraries ([Mylib__Pool.map]) and module aliases both match.
+
+    Findings respect the same allow file and inline [dynlint: allow]
+    comments as the parsetree pass; pass the shared {!Lint.tracker} so D10
+    staleness accounting covers both passes. *)
+
+val collect_cmt_files : string list -> string list
+(** Walk the given directories (including hidden ones — cmts live under
+    [.objs]) and return every [*.cmt] path in sorted order. A path that is
+    itself a [.cmt] file is returned as-is; unreadable directories are
+    skipped. *)
+
+val lint_cmt_files :
+  ?allow:Lint.allow ->
+  ?tracker:Lint.tracker ->
+  ?source_root:string ->
+  string list ->
+  Lint.finding list
+(** Run D7/D8/D9 over the given [.cmt] files. Units are deduplicated by
+    source file; interfaces, packed modules and generated ([.ml-gen])
+    units are skipped, as are unreadable cmts. [source_root] (default
+    ["."]) prefixes the workspace-relative source paths recorded in the
+    cmts when reading sources for inline-allow suppression; when a source
+    cannot be found, only allow-file suppression applies. Findings are
+    sorted by (file, line, col). *)
+
+val lint_cmt_dirs :
+  ?allow:Lint.allow ->
+  ?tracker:Lint.tracker ->
+  ?source_root:string ->
+  string list ->
+  Lint.finding list
+(** {!collect_cmt_files} composed with {!lint_cmt_files}. *)

@@ -1,0 +1,8 @@
+let total_serial items =
+  let total = ref 0 in
+  Pool.iter
+    (fun x ->
+      (* dynlint: allow parallel-race -- single-domain smoke fixture *)
+      total := !total + x)
+    items;
+  !total

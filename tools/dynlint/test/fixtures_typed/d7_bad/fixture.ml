@@ -1,0 +1,20 @@
+(* Three D7 races: a local ref and a module-level Hashtbl captured by a
+   Pool.map closure, and a Buffer captured by Pool.run thunks. *)
+let hits : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let run_all items =
+  let total = ref 0 in
+  let results =
+    Pool.map
+      (fun x ->
+        total := !total + x;
+        Hashtbl.replace hits x (x * 2);
+        x * 2)
+      items
+  in
+  (results, !total)
+
+let log_all items =
+  let buf = Buffer.create 64 in
+  Pool.run (List.map (fun x () -> Buffer.add_string buf (string_of_int x)) items);
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+let sum items =
+  Pool.map
+    (fun x ->
+      Shared.total := !Shared.total + x;
+      x)
+    items

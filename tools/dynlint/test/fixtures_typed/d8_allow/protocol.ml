@@ -1,0 +1,8 @@
+let tag_suffixes =
+  [
+    "ping";
+    "dead-arm"; (* dynlint: allow protocol-conformance -- reserved for the next wire revision *)
+  ]
+[@@dynlint.tag_universe]
+
+let tag suffix = "px-" ^ suffix

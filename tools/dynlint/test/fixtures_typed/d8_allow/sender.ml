@@ -1,0 +1,4 @@
+let ping net dst = Net.send net ~src:0 ~addr:dst ~tag:(Protocol.tag "ping") ~bits:8 ignore
+
+(* dynlint: allow protocol-conformance -- fault-injection probe, deliberately off-universe *)
+let rogue net dst = Net.send net ~src:0 ~addr:dst ~tag:(Protocol.tag "rogue") ~bits:8 ignore

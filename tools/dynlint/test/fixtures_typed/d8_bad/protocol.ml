@@ -1,0 +1,5 @@
+(* The declared tag universe lives here; the sends live in sender.ml —
+   the conformance comparison is cross-module. "dead-arm" is declared
+   but never sent. *)
+let tag_suffixes = [ "ping"; "dead-arm" ] [@@dynlint.tag_universe]
+let tag suffix = "px-" ^ suffix

@@ -1,0 +1,4 @@
+let ping net dst = Net.send net ~src:0 ~addr:dst ~tag:(Protocol.tag "ping") ~bits:8 ignore
+
+(* "rogue" is sent but missing from the universe in protocol.ml. *)
+let rogue net dst = Net.send net ~src:0 ~addr:dst ~tag:(Protocol.tag "rogue") ~bits:8 ignore

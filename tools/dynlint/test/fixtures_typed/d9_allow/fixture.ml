@@ -1,0 +1,3 @@
+let draw bound =
+  (* dynlint: allow rng-taint -- fixture: reads the legacy generator above *)
+  Rng.int Globals.ambient bound

@@ -1,0 +1,2 @@
+(* dynlint: allow rng-taint -- fixture: pretend legacy module pending the threading refactor *)
+let ambient = Rng.create ~seed:42

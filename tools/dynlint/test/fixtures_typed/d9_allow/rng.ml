@@ -1,0 +1,8 @@
+(* Stand-in for the real seeded Rng: the type name is what D9 keys on. *)
+type t = { mutable state : int }
+
+let create ~seed = { state = seed }
+
+let int t bound =
+  t.state <- (t.state * 25214903917) + 11;
+  abs t.state mod (max 1 bound)

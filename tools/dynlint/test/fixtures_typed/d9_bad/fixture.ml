@@ -1,0 +1,1 @@
+let draw bound = Rng.int Globals.ambient bound

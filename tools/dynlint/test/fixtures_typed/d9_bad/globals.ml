@@ -1,0 +1,3 @@
+(* A module-level generator: draw order now depends on domain interleaving
+   and no caller can reseed a run. *)
+let ambient = Rng.create ~seed:42

@@ -1,6 +1,7 @@
 (* dynlint's own test suite: a fixture corpus with one bad + one
    allow-annotated file per rule, exact rule-id assertions, the allow-file
-   and context gates, and clean-tree silence on the repo's lib/. *)
+   and context gates, the typed (cmt) fixtures for D7/D8/D9, SARIF output,
+   stale-suppression reporting, and clean-tree silence on the repo's lib/. *)
 
 let lib_ctx = { Lint.lib = true; test = false }
 
@@ -9,6 +10,17 @@ let ids ?allow ?(ctx = lib_ctx) path =
 
 let check_ids name expected got =
   Alcotest.(check (list string)) name expected got
+
+let contains s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
 
 let test_bad_fixtures () =
   check_ids "d1_bad" [ "D1"; "D1"; "D1"; "D1" ] (ids "fixtures/d1_bad.ml");
@@ -79,12 +91,165 @@ let test_report_format () =
         (if String.length line >= lp then String.sub line 0 lp else line)
   | [] -> Alcotest.fail "d1_bad.ml should have findings"
 
-(* The real tree must stay silent: same invocation shape as the @lint
-   alias, restricted to lib/ (bin/ and bench/ are not test deps). *)
+(* ---------------------------------------------------------------- *)
+(* Typed (cmt) pass: D7/D8/D9 over the fixtures_typed mini-projects.
+   Each fixture is a real dune library; its cmts live under .objs in the
+   test's own build directory. *)
+
+let typed_findings ?allow ?tracker dir =
+  Lint_typed.lint_cmt_dirs ?allow ?tracker ~source_root:"../../.."
+    [ "fixtures_typed/" ^ dir ]
+
+let typed_ids dir =
+  List.map (fun f -> Lint.rule_id f.Lint.rule) (typed_findings dir)
+
+let test_d7 () =
+  (* the local ref, the module-level Hashtbl, the Buffer under Pool.run *)
+  check_ids "d7_bad" [ "D7"; "D7"; "D7" ] (typed_ids "d7_bad");
+  check_ids "d7_allow" [] (typed_ids "d7_allow")
+
+let test_d7_cross_module () =
+  match typed_findings "d7_cross" with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "D7" (Lint.rule_id f.Lint.rule);
+      Alcotest.(check bool) "names the foreign unit's value" true
+        (contains f.Lint.msg "Shared.total")
+  | fs ->
+      Alcotest.failf "d7_cross: expected exactly 1 finding, got %d"
+        (List.length fs)
+
+let test_d8 () =
+  (match typed_findings "d8_bad" with
+  | [ dead; rogue ] ->
+      check_ids "d8_bad ids" [ "D8"; "D8" ]
+        [ Lint.rule_id dead.Lint.rule; Lint.rule_id rogue.Lint.rule ];
+      (* the universe lives in protocol.ml, the rogue send in sender.ml:
+         the comparison is cross-module by construction *)
+      Alcotest.(check bool) "dead arm reported at its declaration" true
+        (contains dead.Lint.file "protocol.ml" && contains dead.Lint.msg "dead-arm");
+      Alcotest.(check bool) "rogue send reported at its literal" true
+        (contains rogue.Lint.file "sender.ml" && contains rogue.Lint.msg "rogue")
+  | fs ->
+      Alcotest.failf "d8_bad: expected exactly 2 findings, got %d"
+        (List.length fs));
+  check_ids "d8_allow" [] (typed_ids "d8_allow")
+
+let test_d9 () =
+  (match typed_findings "d9_bad" with
+  | [ use; binding ] ->
+      check_ids "d9_bad ids" [ "D9"; "D9" ]
+        [ Lint.rule_id use.Lint.rule; Lint.rule_id binding.Lint.rule ];
+      Alcotest.(check bool) "cross-module read flagged" true
+        (contains use.Lint.file "fixture.ml" && contains use.Lint.msg "Globals.ambient");
+      Alcotest.(check bool) "module-level binding flagged" true
+        (contains binding.Lint.file "globals.ml" && contains binding.Lint.msg "ambient")
+  | fs ->
+      Alcotest.failf "d9_bad: expected exactly 2 findings, got %d"
+        (List.length fs));
+  check_ids "d9_allow" [] (typed_ids "d9_allow")
+
+(* ---------------------------------------------------------------- *)
+(* D10: stale-suppression reporting. *)
+
+let test_stale_allow () =
+  let allow = Lint.load_allow_file "fixtures/stale.allow" in
+  let tracker = Lint.new_tracker () in
+  (* exercises the "unsafe d4_bad.ml" entry ... *)
+  check_ids "entry still suppresses" []
+    (List.map
+       (fun f -> Lint.rule_id f.Lint.rule)
+       (Lint.lint_file ~allow ~tracker ~ctx:lib_ctx "fixtures/d4_bad.ml"));
+  (* ... and the used inline comment in stale_inline.ml *)
+  check_ids "inline still suppresses" []
+    (List.map
+       (fun f -> Lint.rule_id f.Lint.rule)
+       (Lint.lint_file ~allow ~tracker ~ctx:lib_ctx "fixtures/stale_inline.ml"));
+  (match Lint.stale_findings ~allow tracker with
+  | [ entry; inline ] ->
+      check_ids "both are D10" [ "D10"; "D10" ]
+        [ Lint.rule_id entry.Lint.rule; Lint.rule_id inline.Lint.rule ];
+      (* the dead entry, at its line in the allow file; the pinned
+         never-matching entry is exempt *)
+      Alcotest.(check string) "entry file" "fixtures/stale.allow" entry.Lint.file;
+      Alcotest.(check int) "entry line" 5 entry.Lint.line;
+      Alcotest.(check bool) "entry named" true (contains entry.Lint.msg "never_matches.ml");
+      (* the dead inline comment on line 1 (line 3's suppressed a D6) *)
+      Alcotest.(check string) "inline file" "fixtures/stale_inline.ml" inline.Lint.file;
+      Alcotest.(check int) "inline line" 1 inline.Lint.line
+  | fs ->
+      Alcotest.failf "expected exactly 2 stale findings, got %d"
+        (List.length fs));
+  (* a typed-only run must not call parsetree-rule suppressions stale *)
+  let typed_only =
+    function Lint.Parallel_race | Lint.Protocol | Lint.Rng_taint -> true | _ -> false
+  in
+  Alcotest.(check int) "out-of-scope suppressions are not stale" 0
+    (List.length (Lint.stale_findings ~in_scope:typed_only ~allow tracker))
+
+(* ---------------------------------------------------------------- *)
+(* SARIF output. *)
+
+let test_sarif_golden () =
+  Alcotest.(check string) "sarif golden"
+    (read_file "fixtures/sarif_golden.json")
+    (Sarif.render (typed_findings "d8_bad"))
+
+let test_sarif_structure () =
+  let findings = typed_findings "d8_bad" in
+  let module J = Telemetry.Json in
+  let json = J.of_string (Sarif.render findings) in
+  let as_list name = function
+    | J.List l -> l
+    | _ -> Alcotest.failf "%s is not an array" name
+  in
+  Alcotest.(check string) "version" "2.1.0" (J.to_str (J.member "version" json));
+  let run = List.hd (as_list "runs" (J.member "runs" json)) in
+  let driver = J.member "driver" (J.member "tool" run) in
+  Alcotest.(check string) "driver name" "dynlint"
+    (J.to_str (J.member "name" driver));
+  Alcotest.(check int) "full rule table" (List.length Lint.all_rules)
+    (List.length (as_list "rules" (J.member "rules" driver)));
+  let results = as_list "results" (J.member "results" run) in
+  Alcotest.(check int) "one result per finding" (List.length findings)
+    (List.length results);
+  List.iter2
+    (fun r (f : Lint.finding) ->
+      Alcotest.(check string) "ruleId" (Lint.rule_id f.rule)
+        (J.to_str (J.member "ruleId" r));
+      Alcotest.(check string) "message" f.msg
+        (J.to_str (J.member "text" (J.member "message" r)));
+      let loc =
+        J.member "physicalLocation"
+          (List.hd (as_list "locations" (J.member "locations" r)))
+      in
+      Alcotest.(check string) "uri" f.file
+        (J.to_str (J.member "uri" (J.member "artifactLocation" loc)));
+      let region = J.member "region" loc in
+      Alcotest.(check int) "startLine" f.line (J.to_int (J.member "startLine" region));
+      (* SARIF columns are 1-based; findings are 0-based *)
+      Alcotest.(check int) "startColumn" (f.col + 1)
+        (J.to_int (J.member "startColumn" region)))
+    results findings
+
+(* ---------------------------------------------------------------- *)
+(* The real tree must stay silent under both passes: same invocation
+   shape as the @lint alias, restricted to lib/ (bin/ and bench/ are not
+   test deps). *)
+
 let test_clean_tree () =
   let allow = Lint.load_allow_file "../../../dynlint.allow" in
   let findings = Lint.lint_tree ~allow ~root:"../../.." [ "lib" ] in
   Alcotest.(check (list string)) "lib/ is dynlint-clean" []
+    (List.map Lint.finding_to_string findings)
+
+let test_clean_tree_typed () =
+  let allow = Lint.load_allow_file "../../../dynlint.allow" in
+  let findings =
+    Lint_typed.lint_cmt_dirs ~allow ~source_root:"../../.." [ "../../../lib" ]
+  in
+  (* D8's dead-arm side needs the senders in scope, and lib/ is where both
+     the universe and every sender live, so lib-only is a complete check *)
+  Alcotest.(check (list string)) "lib/ cmts are dynlint-clean" []
     (List.map Lint.finding_to_string findings)
 
 let () =
@@ -98,6 +263,16 @@ let () =
             test_allow_fixtures;
           Alcotest.test_case "mli coverage (D5)" `Quick test_mli;
         ] );
+      ( "typed rules",
+        [
+          Alcotest.test_case "parallel-race fixtures (D7)" `Quick test_d7;
+          Alcotest.test_case "cross-module capture (D7)" `Quick
+            test_d7_cross_module;
+          Alcotest.test_case "protocol conformance (D8)" `Quick test_d8;
+          Alcotest.test_case "rng taint (D9)" `Quick test_d9;
+          Alcotest.test_case "stale suppressions (D10)" `Quick
+            test_stale_allow;
+        ] );
       ( "gates",
         [
           Alcotest.test_case "rule applicability by context" `Quick
@@ -108,6 +283,10 @@ let () =
       ( "output",
         [
           Alcotest.test_case "finding format" `Quick test_report_format;
+          Alcotest.test_case "sarif golden" `Quick test_sarif_golden;
+          Alcotest.test_case "sarif structure" `Quick test_sarif_structure;
           Alcotest.test_case "clean tree is silent" `Quick test_clean_tree;
+          Alcotest.test_case "clean tree is silent (typed)" `Quick
+            test_clean_tree_typed;
         ] );
     ]
