@@ -39,16 +39,22 @@ end
 
 (* Per-run context: everything an experiment used to reach for process
    globals for. [scheduler = None] leaves the delivery discipline to
-   {!Scheduler.default} (fifo_link, or the SIMNET_SCHEDULER override). *)
+   {!Scheduler.default} (fifo_link, or the SIMNET_SCHEDULER override).
+   [sink] (present under --trace-out) collects the full causal event trace
+   of every Net-backed experiment; [profile] accumulates the per-phase GC
+   probes surfaced as the --json gc_phases columns. *)
 type ctx = {
   ppf : Format.formatter;
   tally : Results.tally;
   scheduler : Scheduler.discipline option;
   jobs : int;
+  sink : Telemetry.Sink.t option;
+  profile : Telemetry.Profile.t option;
 }
 
-let make_ctx ?scheduler ?(jobs = 1) ?(ppf = Format.std_formatter) () =
-  { ppf; tally = Results.make (); scheduler; jobs }
+let make_ctx ?scheduler ?(jobs = 1) ?(ppf = Format.std_formatter) ?sink ?profile
+    () =
+  { ppf; tally = Results.make (); scheduler; jobs; sink; profile }
 
 let effective_scheduler ctx =
   Option.value ~default:(Scheduler.default ()) ctx.scheduler
@@ -62,12 +68,34 @@ let note ctx ?(messages = 0) ?(moves = 0) ?(bits = 0) () =
   t.bits <- t.bits + bits;
   t.rows <- t.rows + 1
 
+(* Run [f] inside a named GC-profiling phase when the context carries a
+   profile; transparent otherwise. *)
+let phase ctx name f =
+  match ctx.profile with
+  | None -> f ()
+  | Some p -> Telemetry.Profile.run p ~name f
+
 (* Fan the rows of one table out over the context's worker budget. Each row
-   gets a private sub-context (own buffer, own tally, jobs = 1 — rows do not
-   nest pools); the buffered text and the tallies are folded back into [ctx]
-   in input order. *)
+   gets a private sub-context (own buffer, own tally, own sink/profile,
+   jobs = 1 — rows do not nest pools); the buffered text, tallies, trace
+   events and phase probes are folded back into [ctx] in input order, so the
+   output — the trace included — is byte-identical whatever the parallelism.
+   Sinks are single-domain objects, so each row sink gets its own disjoint
+   span-id block, reserved from the parent sink on this domain before the
+   fan-out; merged traces therefore never collide on span ids. *)
 let rows ctx items f =
-  let run_row item =
+  let items =
+    List.map
+      (fun item ->
+        let id_base =
+          match ctx.sink with
+          | None -> 0
+          | Some s -> Telemetry.Sink.reserve_ids s (1 lsl 32)
+        in
+        (item, id_base))
+      items
+  in
+  let run_row (item, id_base) =
     let buf = Buffer.create 256 in
     let sub =
       {
@@ -75,6 +103,14 @@ let rows ctx items f =
         tally = Results.make ();
         scheduler = ctx.scheduler;
         jobs = 1;
+        sink =
+          (match ctx.sink with
+          | None -> None
+          | Some _ -> Some (Telemetry.Sink.create ~next_id:id_base ()));
+        profile =
+          (match ctx.profile with
+          | None -> None
+          | Some _ -> Some (Telemetry.Profile.create ()));
       }
     in
     let a0 = Gc.allocated_bytes () in
@@ -83,12 +119,19 @@ let rows ctx items f =
       sub.tally.Results.alloc_bytes
       + int_of_float (Gc.allocated_bytes () -. a0);
     Format.pp_print_flush sub.ppf ();
-    (Buffer.contents buf, sub.tally)
+    (Buffer.contents buf, sub.tally, sub.sink, sub.profile)
   in
   List.iter
-    (fun (text, tally) ->
+    (fun (text, tally, row_sink, row_profile) ->
       Format.pp_print_string ctx.ppf text;
-      Results.merge ~into:ctx.tally tally)
+      Results.merge ~into:ctx.tally tally;
+      (match (ctx.sink, row_sink) with
+      | Some parent, Some s ->
+          List.iter (Telemetry.Sink.record parent) (Telemetry.Sink.events s)
+      | _ -> ());
+      match (ctx.profile, row_profile) with
+      | Some parent, Some p -> Telemetry.Profile.merge ~into:parent p
+      | _ -> ())
     (Pool.map ~jobs:ctx.jobs run_row items)
 
 let hr ctx = printf ctx "%s@." (String.make 78 '-')
@@ -177,14 +220,20 @@ let e2 ctx =
   printf ctx "%8s %14s %12s %12s %16s %8s@." "W" "log(M/(W+1))" "iterations" "moves"
     "bound" "ratio";
   rows ctx [ 0; 1; 3; 15; 63; 255; 1023 ] (fun row w ->
-      let rng = Rng.create ~seed:52 in
-      let tree = Workload.Shape.build rng (Workload.Shape.Path n0) in
       let u = n0 + m + 64 in
-      let ctrl = Iterated.create ~m ~w ~u ~tree () in
-      let wl = Workload.make ~seed:53 ~deep_bias:true ~mix:Workload.Mix.grow_only () in
-      for _ = 1 to m + 200 do
-        ignore (Iterated.request ctrl (Workload.next_op wl tree))
-      done;
+      let tree, ctrl =
+        phase row "e2/build" (fun () ->
+            let rng = Rng.create ~seed:52 in
+            let tree = Workload.Shape.build rng (Workload.Shape.Path n0) in
+            (tree, Iterated.create ~m ~w ~u ~tree ()))
+      in
+      phase row "e2/drive" (fun () ->
+          let wl =
+            Workload.make ~seed:53 ~deep_bias:true ~mix:Workload.Mix.grow_only ()
+          in
+          for _ = 1 to m + 200 do
+            ignore (Iterated.request ctrl (Workload.next_op wl tree))
+          done);
       let logterm = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
       let bound = float_of_int u *. log2f u *. log2f u *. logterm in
       note row ~moves:(Iterated.moves ctrl) ();
@@ -324,8 +373,8 @@ let e5 ctx =
       let m = n0 and w = max 1 (n0 / 8) in
       let stats =
         Dist_harness.run ~seed:(80 + n0) ~concurrency:8 ?scheduler:row.scheduler
-          ~shape:(Workload.Shape.Random n0) ~mix:Workload.Mix.churn ~m ~w
-          ~requests:(2 * n0) ()
+          ?sink:row.sink ~shape:(Workload.Shape.Random n0)
+          ~mix:Workload.Mix.churn ~m ~w ~requests:(2 * n0) ()
       in
       let logmw = max 1.0 (Stats.log2 (float_of_int (m + 1) /. float_of_int (w + 1))) in
       let bound = float_of_int n0 *. log2f n0 *. log2f n0 *. logmw in
@@ -342,10 +391,10 @@ let e5 ctx =
 (* ------------------------------------------------------------------ *)
 (* E6: Theorem 5.1 - size estimation                                   *)
 
-let run_size_estimation ?scheduler ~seed ~n0 ~beta ~changes ~mix () =
+let run_size_estimation ?scheduler ?sink ~seed ~n0 ~beta ~changes ~mix () =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
-  let net = Net.create ~seed:(seed + 1) ?scheduler ~tree () in
+  let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
   let se = Estimator.Size_estimation.create ~beta ~net () in
   let wl = Workload.make ~seed:(seed + 2) ~mix () in
   let reserved = Hashtbl.create 16 in
@@ -388,8 +437,9 @@ let e6 ctx =
     (fun row (n0, beta) ->
       let changes = 2 * n0 in
       let se, net, worst =
-        run_size_estimation ?scheduler:row.scheduler ~seed:(90 + n0) ~n0 ~beta
-          ~changes ~mix:Workload.Mix.churn ()
+        phase row "e6/run" (fun () ->
+            run_size_estimation ?scheduler:row.scheduler ?sink:row.sink
+              ~seed:(90 + n0) ~n0 ~beta ~changes ~mix:Workload.Mix.churn ())
       in
       let total =
         Net.messages net + Estimator.Size_estimation.overhead_messages se
@@ -414,7 +464,10 @@ let e7 ctx =
       let changes = 2 * n0 in
       let rng = Rng.create ~seed:(100 + n0) in
       let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
-      let net = Net.create ~seed:(101 + n0) ?scheduler:row.scheduler ~tree () in
+      let net =
+        Net.create ~seed:(101 + n0) ?scheduler:row.scheduler ?sink:row.sink
+          ~tree ()
+      in
       let na = Estimator.Name_assignment.create ~net () in
       let wl = Workload.make ~seed:102 ~mix:Workload.Mix.churn () in
       let reserved = Hashtbl.create 16 in
@@ -525,7 +578,7 @@ let e10 ctx =
       let requests = n0 in
       let stats =
         Dist_harness.run ~seed:(130 + n0) ~concurrency:8 ?scheduler:row.scheduler
-          ~shape ~mix:Workload.Mix.churn ~m ~w ~requests ()
+          ?sink:row.sink ~shape ~mix:Workload.Mix.churn ~m ~w ~requests ()
       in
       let nmax = n0 + requests in
       let log_n = Stats.ceil_log2 (max 2 nmax) and log_u = Stats.ceil_log2 (max 2 nmax) in
@@ -629,7 +682,10 @@ let e12 ctx =
       let tree = Workload.Shape.build rng (Workload.Shape.Path n0) in
       let u = n0 + m + 64 in
       let params = Params.make_scaled ~psi_scale:scale ~m ~w ~u in
-      let c = Central.create ~reject_mode:Types.Report ~params ~tree () in
+      let c =
+        Central.create ~reject_mode:Types.Report ?telemetry:row.sink ~params
+          ~tree ()
+      in
       let wl = Workload.make ~seed:172 ~deep_bias:true ~mix:Workload.Mix.grow_only () in
       let exhausted = ref false in
       while not !exhausted do
@@ -656,6 +712,7 @@ let e13 ctx =
   rows ctx [ 1; 2; 4; 8; 16; 32 ] (fun row conc ->
       let stats =
         Dist_harness.run ~seed:181 ~concurrency:conc ?scheduler:row.scheduler
+          ?sink:row.sink
           ~shape:(Workload.Shape.Random 256)
           ~mix:Workload.Mix.churn ~m:512 ~w:64 ~requests:400 ()
       in

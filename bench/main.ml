@@ -102,8 +102,12 @@ type outcome = {
   tally : Experiments.Results.tally;
   wall_s : float;
   peak_heap_words : int;
+  profile : Telemetry.Profile.t;
 }
 
+(* The per-phase GC columns ride along in the JSON as a "gc_phases" object;
+   compare_baseline only reads the fields it knows, so baselines without
+   them still gate and new files against old baselines still pass. *)
 let outcome_json scheduler o =
   let open Telemetry.Json in
   ( o.name,
@@ -117,6 +121,7 @@ let outcome_json scheduler o =
         ("peak_heap_words", Int o.peak_heap_words);
         ("scheduler", String scheduler);
         ("wall_s", Float o.wall_s);
+        ("gc_phases", Telemetry.Profile.to_json o.profile);
       ] )
 
 let read_file path = In_channel.with_open_text path In_channel.input_all
@@ -196,6 +201,17 @@ let () =
   in
   let json_file, args = strip_valued "--json" args in
   let compare_file, args = strip_valued "--compare" args in
+  let trace_file, args = strip_valued "--trace-out" args in
+  (* -e NAME, repeatable: an explicit experiment selector (equivalent to the
+     bare positional form, for callers that prefer flagged arguments) *)
+  let selected, args =
+    let rec go acc args =
+      match strip_valued "-e" args with
+      | None, args -> (List.rev acc, args)
+      | Some name, args -> go (name :: acc) args
+    in
+    go [] args
+  in
   let wall_tol, args = strip_valued "--wall-tolerance" args in
   let alloc_tol, args = strip_valued "--alloc-tolerance" args in
   let jobs, args =
@@ -235,6 +251,16 @@ let () =
       args )
   in
   let results = ref [] in
+  let trace_events = ref [] in
+  let trace_sink () =
+    (* one memory sink per experiment; each sink mints span ids from a
+       disjoint block so the concatenated trace stays collision-free *)
+    match trace_file with
+    | None -> None
+    | Some _ ->
+        Some (Telemetry.Sink.create ~next_id:(List.length !results * (1 lsl 48)) ())
+  in
+  let args = args @ selected in
   let wanted = if args = [] then List.map fst Experiments.all @ [ "micro" ] else args in
   List.iter
     (fun name ->
@@ -242,17 +268,34 @@ let () =
       else
         match List.assoc_opt name Experiments.all with
         | Some f ->
-            let ctx = Experiments.make_ctx ?scheduler ~jobs () in
+            let sink = trace_sink () in
+            let profile = Telemetry.Profile.create ~clock:Unix.gettimeofday () in
+            let ctx = Experiments.make_ctx ?scheduler ~jobs ?sink ~profile () in
             let t0 = Unix.gettimeofday () in
-            f ctx;
+            Telemetry.Profile.run profile ~name (fun () -> f ctx);
             let wall_s = Unix.gettimeofday () -. t0 in
             let peak_heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
+            (match sink with
+            | None -> ()
+            | Some s ->
+                Telemetry.Profile.emit profile s ~time:0;
+                trace_events := Telemetry.Sink.events s :: !trace_events);
             results :=
-              { name; tally = ctx.Experiments.tally; wall_s; peak_heap_words }
+              { name; tally = ctx.Experiments.tally; wall_s; peak_heap_words; profile }
               :: !results
         | None -> Format.printf "unknown experiment %S (have: e1..e13, micro)@." name)
     wanted;
   let outcomes = List.rev !results in
+  (match trace_file with
+  | None -> ()
+  | Some path ->
+      let all = Telemetry.Sink.create () in
+      List.iter
+        (fun events -> List.iter (Telemetry.Sink.record all) events)
+        (List.rev !trace_events);
+      Telemetry.Sink.write_jsonl all path;
+      Format.printf "trace (%d events) -> %s@." (Telemetry.Sink.event_count all)
+        path);
   let discipline =
     Scheduler.name
       (Option.value ~default:(Scheduler.default ()) scheduler)

@@ -74,6 +74,12 @@ let trace_out_arg =
        & info [ "trace-out" ] ~docv:"FILE"
            ~doc:"write the structured event trace (JSONL, one event per line) to $(docv)")
 
+let perfetto_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "perfetto-out" ] ~docv:"FILE"
+           ~doc:"write a Chrome/Perfetto trace_event JSON rendering of the run's \
+                 event trace to $(docv) (load it at ui.perfetto.dev)")
+
 let jobs_arg =
   Arg.(value & opt int 0
        & info [ "j"; "jobs" ] ~docv:"N"
@@ -96,9 +102,9 @@ let effective_jobs j = if j <= 0 then Pool.default_jobs () else j
    arbitrarily long trace keeps O(1) heap instead of pinning every event
    until the end of the run. [f sink] runs the task; the trace channel is
    flushed and closed afterwards, and the trace line is reported to [ppf]. *)
-let with_sink ~metrics_out ~trace_out ppf f =
-  match (metrics_out, trace_out) with
-  | None, None ->
+let with_sink ~metrics_out ~trace_out ?perfetto_out ppf f =
+  match (metrics_out, trace_out, perfetto_out) with
+  | None, None, None ->
       (* no sink at all: the instrumented layers keep their allocation-free
          no-telemetry fast path *)
       f None;
@@ -120,6 +126,19 @@ let with_sink ~metrics_out ~trace_out ppf f =
           Format.fprintf ppf "event trace      %s (%d events)@." path
             (Telemetry.Sink.event_count sink))
         channel;
+      Option.iter
+        (fun out ->
+          (* streaming sinks don't pin events, so re-read the JSONL they
+             wrote; memory sinks hand their events over directly *)
+          let events =
+            match channel with
+            | Some (path, _) -> Telemetry.Sink.read_jsonl path
+            | None -> Telemetry.Sink.events sink
+          in
+          Telemetry.Export.write_file out (Telemetry.Export.perfetto events);
+          Format.fprintf ppf "perfetto trace   %s (%d events)@." out
+            (List.length events))
+        perfetto_out;
       Some (Telemetry.Sink.metrics sink)
 
 let dump_metrics metrics_out registries =
@@ -211,7 +230,7 @@ let run_one ppf ~kind_s ~shape_s ~mix ~n0 ~requests ~m ~w ~scheduler ~sink ~seed
   | s -> invalid_arg ("unknown controller: " ^ s)
 
 let run_main verbose kind_s shape_s mix_s n0 requests m w seed seeds jobs scheduler
-    metrics_out trace_out =
+    metrics_out trace_out perfetto_out =
   setup_logs verbose;
   if seeds < 1 then invalid_arg "--seeds must be >= 1";
   let mix = mix_of mix_s in
@@ -223,13 +242,13 @@ let run_main verbose kind_s shape_s mix_s n0 requests m w seed seeds jobs schedu
   let run_seed sd =
     let buf = Buffer.create 512 in
     let ppf = Format.formatter_of_buffer buf in
-    let trace_out =
-      Option.map
-        (fun p -> if seeds = 1 then p else Printf.sprintf "%s.%d" p sd)
-        trace_out
+    let per_seed =
+      Option.map (fun p -> if seeds = 1 then p else Printf.sprintf "%s.%d" p sd)
     in
+    let trace_out = per_seed trace_out in
+    let perfetto_out = per_seed perfetto_out in
     let registry =
-      with_sink ~metrics_out ~trace_out ppf (fun sink ->
+      with_sink ~metrics_out ~trace_out ?perfetto_out ppf (fun sink ->
           run_one ppf ~kind_s ~shape_s ~mix ~n0 ~requests ~m ~w ~scheduler ~sink
             ~seed:sd)
     in
@@ -259,7 +278,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"run an (M,W)-controller on a generated scenario")
     Term.(const run_main $ verbose_arg $ kind $ shape_arg $ mix_arg $ n0_arg $ requests
           $ budget_arg $ waste_arg $ seed_arg $ seeds_arg $ jobs_arg $ scheduler_arg
-          $ metrics_out_arg $ trace_out_arg)
+          $ metrics_out_arg $ trace_out_arg $ perfetto_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* size-est and names: the Section 5 protocols                         *)
@@ -288,11 +307,12 @@ let drive_estimator ~seed ~mix ~changes ~net ~tree ~submit =
   done;
   Net.run net
 
-let size_est_main shape_s mix_s n0 changes beta seed scheduler metrics_out trace_out =
+let size_est_main shape_s mix_s n0 changes beta seed scheduler metrics_out trace_out
+    perfetto_out =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
   let registry =
-    with_sink ~metrics_out ~trace_out Format.std_formatter (fun sink ->
+    with_sink ~metrics_out ~trace_out ?perfetto_out Format.std_formatter (fun sink ->
         let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
         let se = Estimator.Size_estimation.create ~beta ~net () in
         drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
@@ -315,13 +335,14 @@ let size_est_cmd =
   Cmd.v
     (Cmd.info "size-est" ~doc:"run the Theorem 5.1 size-estimation protocol")
     Term.(const size_est_main $ shape_arg $ mix_arg $ n0_arg $ changes $ beta $ seed_arg
-          $ scheduler_arg $ metrics_out_arg $ trace_out_arg)
+          $ scheduler_arg $ metrics_out_arg $ trace_out_arg $ perfetto_out_arg)
 
-let names_main shape_s mix_s n0 changes seed scheduler metrics_out trace_out =
+let names_main shape_s mix_s n0 changes seed scheduler metrics_out trace_out
+    perfetto_out =
   let rng = Rng.create ~seed in
   let tree = Workload.Shape.build rng (shape_of ~n:n0 shape_s) in
   let registry =
-    with_sink ~metrics_out ~trace_out Format.std_formatter (fun sink ->
+    with_sink ~metrics_out ~trace_out ?perfetto_out Format.std_formatter (fun sink ->
         let net = Net.create ~seed:(seed + 1) ?scheduler ?sink ~tree () in
         let na = Estimator.Name_assignment.create ~net () in
         drive_estimator ~seed ~mix:(mix_of mix_s) ~changes ~net ~tree
@@ -344,7 +365,7 @@ let names_cmd =
   Cmd.v
     (Cmd.info "names" ~doc:"run the Theorem 5.2 name-assignment protocol")
     Term.(const names_main $ shape_arg $ mix_arg $ n0_arg $ changes $ seed_arg
-          $ scheduler_arg $ metrics_out_arg $ trace_out_arg)
+          $ scheduler_arg $ metrics_out_arg $ trace_out_arg $ perfetto_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: capture and replay scenarios                                 *)

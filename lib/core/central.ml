@@ -257,6 +257,16 @@ let request t op =
       incr t.ticks;
       let aid = !(t.ticks) in
       let moves_before = t.moves in
+      (* Root a causal trace for the request when none is ambient, so the
+         package/domain events [serve] emits — and the permit span below —
+         share one trace id. (Under [Iterated]/[Adaptive] this same code
+         runs as the inner controller; the distributed controllers never
+         reach here, their chains root at [Net.schedule].) *)
+      let rooted = Telemetry.Sink.current_span sink < 0 in
+      if rooted then begin
+        let id = Telemetry.Sink.fresh_id sink in
+        Telemetry.Sink.set_ambient sink ~trace:id ~span:id
+      end;
       let u, outcome = serve t op in
       let outcome_s = Types.outcome_name outcome in
       Telemetry.Sink.event sink ~time:aid
@@ -269,6 +279,7 @@ let request t op =
              submitted = aid;
              latency = 0;
            });
+      if rooted then Telemetry.Sink.clear_ambient sink;
       let m = Telemetry.Sink.metrics sink in
       Telemetry.Metrics.inc
         (Telemetry.Metrics.counter m

@@ -8,6 +8,8 @@ type message = {
   tag : string;
   link : Scheduler.link;  (* frozen at send time; reorder accounting key *)
   sseq : int;  (* global send sequence number *)
+  ctx : Telemetry.Event.ctx;  (* the message's span; [Event.no_ctx] (a
+                                 shared constant) when running sink-less *)
   k : node -> unit;
 }
 
@@ -108,6 +110,22 @@ let send t ~src ~addr ~tag ~bits k =
   t.bits_total <- t.bits_total + bits;
   if bits > t.bits_max then t.bits_max <- bits;
   incr (tally t.by_tag tag);
+  (* Mint the message's span: a fresh id, parented on the ambient span (the
+     delivery continuation or scheduled action issuing this send) and
+     inheriting its trace — or rooting a fresh trace when sent from outside
+     any causal context. Sink-less runs store the shared [no_ctx] constant;
+     nothing is allocated and no ids are consumed. *)
+  let ctx =
+    match t.sink with
+    | None -> Telemetry.Event.no_ctx
+    | Some s ->
+        let span = Telemetry.Sink.fresh_id s in
+        let parent = Telemetry.Sink.current_span s in
+        let trace =
+          if parent < 0 then span else Telemetry.Sink.current_trace s
+        in
+        { Telemetry.Event.trace; span; parent }
+  in
   (match t.sink with
   | None -> ()
   | Some s ->
@@ -122,7 +140,7 @@ let send t ~src ~addr ~tag ~bits k =
         | Exact v -> Telemetry.Event.Exact v
         | Parent_of v -> Telemetry.Event.Parent_of v
       in
-      Telemetry.Sink.event s ~time:t.clock
+      Telemetry.Sink.event ~ctx s ~time:t.clock
         (Telemetry.Event.Send { src; addr = eaddr; tag; bits }));
   let link =
     match addr with
@@ -135,17 +153,39 @@ let send t ~src ~addr ~tag ~bits k =
     Scheduler.decide t.sched ~rng:t.rng ~max_delay:t.max_delay ~now:t.clock ~link
   in
   Event_queue.add t.events ~time ~priority
-    (Deliver { src; maddr = addr; tag; link; sseq; k })
+    (Deliver { src; maddr = addr; tag; link; sseq; ctx; k })
 
 let schedule t ?(delay = 1) f =
   if delay < 0 then invalid_arg "Net.schedule: negative delay";
+  (* A scheduled action continues the ambient span when there is one (it is
+     a local continuation, not a message hop); scheduled from outside any
+     context it roots a fresh trace — this is how a request submission
+     becomes the root of its causal chain. *)
+  let f =
+    match t.sink with
+    | None -> f
+    | Some s ->
+        let trace, span =
+          let parent = Telemetry.Sink.current_span s in
+          if parent >= 0 then (Telemetry.Sink.current_trace s, parent)
+          else
+            let id = Telemetry.Sink.fresh_id s in
+            (id, id)
+        in
+        fun () ->
+          let saved_trace = Telemetry.Sink.current_trace s in
+          let saved_span = Telemetry.Sink.current_span s in
+          Telemetry.Sink.set_ambient s ~trace ~span;
+          f ();
+          Telemetry.Sink.set_ambient s ~trace:saved_trace ~span:saved_span
+  in
   Event_queue.add t.events ~time:(t.clock + delay) (Action f)
 
 let node_deleted t v ~parent =
   Hashtbl.replace t.forwards v parent;
   Scheduler.on_node_deleted t.sched ~deleted:v ~resolve:(resolve t)
 
-let deliver t { src; maddr; tag; link; sseq; k } =
+let deliver t { src; maddr; tag; link; sseq; ctx; k } =
   let target, forwarded =
     match maddr with
     | Exact v ->
@@ -170,18 +210,28 @@ let deliver t { src; maddr; tag; link; sseq; k } =
       false
     end
   in
-  (match t.sink with
-  | None -> ()
+  (* The deliver event shares the message's span (forwarding included: a
+     redirected message keeps the context minted at send time), and the span
+     is installed as the ambient context around the continuation so every
+     event — and every further send — downstream of this delivery is
+     causally linked to it. *)
+  match t.sink with
+  | None -> k target
   | Some s ->
-      Telemetry.Sink.event s ~time:t.clock
+      Telemetry.Sink.event ~ctx s ~time:t.clock
         (Telemetry.Event.Deliver { src; dst = target; tag; seq = sseq; forwarded; reordered });
       let m = Telemetry.Sink.metrics s in
       if forwarded then
         Telemetry.Metrics.inc
           (Telemetry.Metrics.counter m "net_forwarded_deliveries_total");
       if reordered then
-        Telemetry.Metrics.inc (Telemetry.Metrics.counter m "net_reorders_total"));
-  k target
+        Telemetry.Metrics.inc (Telemetry.Metrics.counter m "net_reorders_total");
+      let saved_trace = Telemetry.Sink.current_trace s in
+      let saved_span = Telemetry.Sink.current_span s in
+      Telemetry.Sink.set_ambient s ~trace:ctx.Telemetry.Event.trace
+        ~span:ctx.Telemetry.Event.span;
+      k target;
+      Telemetry.Sink.set_ambient s ~trace:saved_trace ~span:saved_span
 
 let step t =
   match Event_queue.pop t.events with

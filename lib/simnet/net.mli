@@ -24,7 +24,20 @@
     deletion-forwarding chain) and survives later deletions, so the FIFO
     guarantee spans [node_deleted] adoption. Every delivery is checked
     against the per-link send order; violations feed the {!reorders}
-    counters, so a trace proves which model actually ran. *)
+    counters, so a trace proves which model actually ran.
+
+    {b Causality.} With a sink present, every send mints a span (see
+    {!Telemetry.Event.ctx}): a fresh id, parented on the span whose delivery
+    continuation or scheduled action issued the send, inheriting that span's
+    trace id — or rooting a fresh trace when sent from outside any causal
+    context. The [Send] and [Deliver] events of a message carry the same
+    span (deletion-forwarding included), and the span is installed as the
+    sink's ambient context around the delivery continuation, so protocol
+    events emitted downstream — and further sends — link to it without the
+    protocol layer naming causality at all. [schedule]d actions continue the
+    ambient span; scheduled from outside any context (e.g. a request
+    submission) they root a fresh trace. Without a sink, no ids are minted
+    and messages carry the shared {!Telemetry.Event.no_ctx} constant. *)
 
 type node = Dtree.node
 

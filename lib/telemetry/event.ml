@@ -1,5 +1,13 @@
 type addr = Exact of int | Parent_of of int
 
+type ctx = { trace : int; span : int; parent : int }
+
+(* Shared constant: the no-causality context. Layers running without a sink
+   store this directly (no per-message allocation). *)
+let no_ctx = { trace = -1; span = -1; parent = -1 }
+
+let has_ctx c = c.trace >= 0
+
 type kind =
   | Sched of { discipline : string }
   | Send of { src : int; addr : addr; tag : string; bits : int }
@@ -29,11 +37,20 @@ type kind =
   | Reject_wave of { ctrl : string; node : int }
   | Epoch of { ctrl : string; epoch : int; n : int }
   | Estimate of { ctrl : string; node : int; value : int; truth : int }
+  | Phase of {
+      name : string;
+      count : int;
+      alloc_bytes : int;
+      minor : int;
+      major : int;
+      top_heap_words : int;
+      wall_ns : int;
+    }
   | Custom of { name : string; value : int }
 
-type t = { time : int; kind : kind }
+type t = { time : int; ctx : ctx; kind : kind }
 
-let to_json { time; kind } =
+let to_json { time; ctx; kind } =
   let open Json in
   let fields =
     match kind with
@@ -79,8 +96,23 @@ let to_json { time; kind } =
     | Estimate { ctrl; node; value; truth } ->
         [ ("ev", String "estimate"); ("ctrl", String ctrl); ("node", Int node);
           ("value", Int value); ("truth", Int truth) ]
+    | Phase { name; count; alloc_bytes; minor; major; top_heap_words; wall_ns } ->
+        [ ("ev", String "phase"); ("name", String name); ("count", Int count);
+          ("alloc_bytes", Int alloc_bytes); ("minor", Int minor);
+          ("major", Int major); ("top_heap_words", Int top_heap_words);
+          ("wall_ns", Int wall_ns) ]
     | Custom { name; value } ->
         [ ("ev", String "custom"); ("name", String name); ("value", Int value) ]
+  in
+  (* Causality fields only appear on events that carry a context, so traces
+     from un-instrumented layers (and pre-causality traces) stay compact and
+     re-readable: [of_json] defaults every absent field to -1. *)
+  let fields =
+    if not (has_ctx ctx) then fields
+    else if ctx.parent >= 0 then
+      ("trace", Int ctx.trace) :: ("span", Int ctx.span)
+      :: ("parent", Int ctx.parent) :: fields
+    else ("trace", Int ctx.trace) :: ("span", Int ctx.span) :: fields
   in
   Obj (("time", Int time) :: fields)
 
@@ -89,6 +121,12 @@ let of_json j =
   let time = to_int (member "time" j) in
   let int k = to_int (member k j) in
   let str k = to_str (member k j) in
+  let opt_int k = match member k j with Null -> -1 | v -> to_int v in
+  let ctx =
+    match opt_int "trace" with
+    | -1 -> no_ctx
+    | trace -> { trace; span = opt_int "span"; parent = opt_int "parent" }
+  in
   let kind =
     match str "ev" with
     | "sched" -> Sched { discipline = str "discipline" }
@@ -134,10 +172,21 @@ let of_json j =
     | "estimate" ->
         Estimate
           { ctrl = str "ctrl"; node = int "node"; value = int "value"; truth = int "truth" }
+    | "phase" ->
+        Phase
+          {
+            name = str "name";
+            count = int "count";
+            alloc_bytes = int "alloc_bytes";
+            minor = int "minor";
+            major = int "major";
+            top_heap_words = int "top_heap_words";
+            wall_ns = int "wall_ns";
+          }
     | "custom" -> Custom { name = str "name"; value = int "value" }
     | s -> failwith ("Event.of_json: unknown event kind " ^ s)
   in
-  { time; kind }
+  { time; ctx; kind }
 
 let to_line e = Json.to_string (to_json e)
 let of_line s = of_json (Json.of_string s)

@@ -11,5 +11,12 @@ val summary : Metrics.t -> string
 (** A human-readable aligned table (name, labels, value; histograms shown as
     count/sum/p50-ish bucket) for end-of-run printing. *)
 
+val perfetto : Event.t list -> string
+(** The trace as Chrome/Perfetto [trace_event] JSON (loadable at
+    ui.perfetto.dev or chrome://tracing). Completed spans render as ["X"]
+    complete events on the track of their trace id — one causal chain per
+    row — carrying span/parent/src/dst/bits args; other events render as
+    instants. [ts] is the simulated clock, exported as microseconds. *)
+
 val write_file : string -> string -> unit
 (** [write_file path contents]. *)

@@ -21,11 +21,16 @@
 
 type t
 
-val create : ?metrics:Metrics.t -> ?on_event:(Event.t -> unit) -> unit -> t
+val create :
+  ?metrics:Metrics.t -> ?next_id:int -> ?on_event:(Event.t -> unit) -> unit -> t
 (** A fresh in-memory sink. [metrics] defaults to a new registry. With
-    [on_event], events are handed to the callback and not retained. *)
+    [on_event], events are handed to the callback and not retained.
+    [next_id] (default 0) is the base from which {!fresh_id} mints span and
+    trace ids — give sinks that will be merged disjoint id blocks (see
+    {!reserve_ids}) so spans never collide. *)
 
-val to_channel : ?metrics:Metrics.t -> ?flush_bytes:int -> out_channel -> t
+val to_channel :
+  ?metrics:Metrics.t -> ?next_id:int -> ?flush_bytes:int -> out_channel -> t
 (** A streaming sink: events are written to the channel as JSONL (one line
     per event, as {!write_jsonl} would), buffered and flushed to the channel
     every [flush_bytes] (default 64 KiB, the value is clamped to at least
@@ -38,8 +43,47 @@ val flush : t -> unit
 
 val metrics : t -> Metrics.t
 
-val event : t -> time:int -> Event.kind -> unit
-(** Record one event. *)
+val event : ?ctx:Event.ctx -> t -> time:int -> Event.kind -> unit
+(** Record one event. Without [?ctx] the event is stamped with the ambient
+    causal context (trace and span of the delivery or scheduled action
+    currently executing; {!Event.no_ctx} when none is installed) — this is
+    how protocol layers inherit causality without naming it. [Net] passes an
+    explicit [?ctx] for [Send]/[Deliver], whose context is the message's own
+    span rather than the ambient one. *)
+
+val record : t -> Event.t -> unit
+(** Append an already-built event verbatim (no ambient stamping). For
+    merging per-task sink traces back into a parent sink; pair with
+    {!reserve_ids} so the merged ids stay disjoint. *)
+
+(** {2 Causality: span ids and the ambient context}
+
+    [Net] is the only intended writer of this state: it mints a span per
+    send, and installs the span's (trace, span) pair as the ambient context
+    around the delivery continuation — restoring the previous value after —
+    so any event recorded downstream is stamped with it. Readers other than
+    [Net] only need {!current_trace}/{!current_span}. *)
+
+val fresh_id : t -> int
+(** Mint the next span/trace id (dense from the sink's [next_id] base). *)
+
+val reserve_ids : t -> int -> int
+(** [reserve_ids t n] advances the id counter past a block of [n] ids and
+    returns the block's base — use the base as [next_id] of a per-task
+    sub-sink whose events will later be {!record}ed back into [t]. *)
+
+val current_trace : t -> int
+(** Ambient trace id, [-1] when no context is installed. *)
+
+val current_span : t -> int
+(** Ambient span id, [-1] when no context is installed. *)
+
+val ambient : t -> int * int
+(** [(current_trace, current_span)] — for save/restore around a nested
+    context install. *)
+
+val set_ambient : t -> trace:int -> span:int -> unit
+val clear_ambient : t -> unit
 
 val events : t -> Event.t list
 (** The retained trace in chronological (append) order. Empty when streaming

@@ -85,50 +85,60 @@ let test_reregistration_shares_instrument () =
 (* ------------------------------------------------------------------ *)
 (* event JSONL round-trip                                              *)
 
+let ev ?(ctx = E.no_ctx) time kind = { E.time; ctx; kind }
+
 let sample_events =
   [
-    { E.time = 0; kind = E.Send { src = 1; addr = E.Exact 2; tag = "up"; bits = 17 } };
-    { E.time = 3; kind = E.Send { src = 2; addr = E.Parent_of 2; tag = "dn"; bits = 0 } };
-    { E.time = 0; kind = E.Sched { discipline = "fifo_link" } };
-    {
-      E.time = 4;
-      kind =
-        E.Deliver
-          { src = 1; dst = 0; tag = "up"; seq = 0; forwarded = true; reordered = false };
-    };
-    {
-      E.time = 5;
-      kind =
-        E.Deliver
-          { src = 2; dst = 0; tag = "dn"; seq = 7; forwarded = false; reordered = true };
-    };
-    {
-      E.time = 9;
-      kind =
-        E.Permit_span
-          {
-            ctrl = "main";
-            node = 5;
-            aid = 12;
-            outcome = "granted";
-            submitted = 2;
-            latency = 7;
-          };
-    };
-    { E.time = 9; kind = E.Package_created { ctrl = "main"; level = 3; size = 8 } };
-    { E.time = 10; kind = E.Package_split { ctrl = "main"; level = 3 } };
-    { E.time = 10; kind = E.Package_static { ctrl = "main"; node = 5; size = 1 } };
-    { E.time = 11; kind = E.Package_join { ctrl = "main"; from_ = 5; to_ = 4 } };
-    { E.time = 12; kind = E.Domain_assign { level = 2; size = 6 } };
-    { E.time = 13; kind = E.Domain_resize { level = 2; size = 7 } };
-    { E.time = 14; kind = E.Domain_cancel { level = 2 } };
-    { E.time = 15; kind = E.Reject_wave { ctrl = "main"; node = 0 } };
-    { E.time = 16; kind = E.Epoch { ctrl = "adaptive"; epoch = 2; n = 40 } };
-    {
-      E.time = 17;
-      kind = E.Estimate { ctrl = "size-est"; node = 0; value = 64; truth = 57 };
-    };
-    { E.time = max_int; kind = E.Custom { name = "quote\"and\\slash"; value = -3 } };
+    ev 0 (E.Send { src = 1; addr = E.Exact 2; tag = "up"; bits = 17 });
+    ev 3 (E.Send { src = 2; addr = E.Parent_of 2; tag = "dn"; bits = 0 });
+    (* causality fields must round-trip: a root span (parent absent) and a
+       child span (all three fields) *)
+    ev 3
+      ~ctx:{ E.trace = 5; span = 5; parent = -1 }
+      (E.Send { src = 0; addr = E.Exact 1; tag = "up"; bits = 4 });
+    ev 6
+      ~ctx:{ E.trace = 5; span = 6; parent = 5 }
+      (E.Deliver
+         { src = 0; dst = 1; tag = "up"; seq = 2; forwarded = false; reordered = false });
+    ev 0 (E.Sched { discipline = "fifo_link" });
+    ev 4
+      (E.Deliver
+         { src = 1; dst = 0; tag = "up"; seq = 0; forwarded = true; reordered = false });
+    ev 5
+      (E.Deliver
+         { src = 2; dst = 0; tag = "dn"; seq = 7; forwarded = false; reordered = true });
+    ev 9
+      (E.Permit_span
+         {
+           ctrl = "main";
+           node = 5;
+           aid = 12;
+           outcome = "granted";
+           submitted = 2;
+           latency = 7;
+         });
+    ev 9 (E.Package_created { ctrl = "main"; level = 3; size = 8 });
+    ev 10 (E.Package_split { ctrl = "main"; level = 3 });
+    ev 10 (E.Package_static { ctrl = "main"; node = 5; size = 1 });
+    ev 11 (E.Package_join { ctrl = "main"; from_ = 5; to_ = 4 });
+    ev 12 (E.Domain_assign { level = 2; size = 6 });
+    ev 13 (E.Domain_resize { level = 2; size = 7 });
+    ev 14 (E.Domain_cancel { level = 2 });
+    ev 15 (E.Reject_wave { ctrl = "main"; node = 0 });
+    ev 16 (E.Epoch { ctrl = "adaptive"; epoch = 2; n = 40 });
+    ev 17 (E.Estimate { ctrl = "size-est"; node = 0; value = 64; truth = 57 });
+    ev 18
+      (E.Phase
+         {
+           name = "drive";
+           count = 2;
+           alloc_bytes = 123_456;
+           minor = 3;
+           major = 1;
+           top_heap_words = 98_304;
+           wall_ns = 1_500_000;
+         });
+    ev max_int (E.Custom { name = "quote\"and\\slash"; value = -3 });
   ]
 
 let test_event_roundtrip () =
@@ -141,7 +151,7 @@ let test_event_roundtrip () =
 
 let test_jsonl_file_roundtrip () =
   let sink = Telemetry.Sink.create () in
-  List.iter (fun e -> Telemetry.Sink.event sink ~time:e.E.time e.E.kind) sample_events;
+  List.iter (Telemetry.Sink.record sink) sample_events;
   let path = Filename.temp_file "telemetry" ".jsonl" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
@@ -165,9 +175,7 @@ let test_channel_sink_roundtrip () =
         (fun () ->
           let oc = open_out path in
           let sink = Telemetry.Sink.to_channel ?flush_bytes oc in
-          List.iter
-            (fun e -> Telemetry.Sink.event sink ~time:e.E.time e.E.kind)
-            sample_events;
+          List.iter (Telemetry.Sink.record sink) sample_events;
           Alcotest.(check int) "nothing retained" 0
             (List.length (Telemetry.Sink.events sink));
           Alcotest.(check int) "count" (List.length sample_events)
@@ -179,9 +187,7 @@ let test_channel_sink_roundtrip () =
             Alcotest.fail "channel round-trip changed the trace";
           (* byte-for-byte the same file a memory sink would have written *)
           let mem = Telemetry.Sink.create () in
-          List.iter
-            (fun e -> Telemetry.Sink.event mem ~time:e.E.time e.E.kind)
-            sample_events;
+          List.iter (Telemetry.Sink.record mem) sample_events;
           let written =
             In_channel.with_open_text path In_channel.input_all
           in

@@ -158,22 +158,72 @@ let closure_findings ~target ~emit (closure : expression) =
   in
   it.expr it closure
 
-(* Find the outermost closures in an argument expression (the closure may
-   sit under List.map, a tuple, a record, ...) and analyze each. Nested
-   closures are covered by the outer analysis: anything they capture from
-   outside the outermost closure is still a capture. *)
-let analyze_closures ~target ~emit (e : expression) =
+(* Pre-pass over one compilation unit: every let-bound ident, module- or
+   expression-level, keyed by unique name (Ident stamps make shadowing
+   unambiguous). The D7 call-site analysis chases these when a closure
+   reaches a parallel entry point by name instead of literally. *)
+let collect_value_binds (str : structure) =
+  let binds = Hashtbl.create 64 in
+  let add (vb : value_binding) =
+    match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) -> Hashtbl.replace binds (Ident.unique_name id) vb.vb_expr
+    | Tpat_alias (_, id, _) ->
+        Hashtbl.replace binds (Ident.unique_name id) vb.vb_expr
+    | _ -> ()
+  in
   let it =
     {
       Tast_iterator.default_iterator with
       expr =
-        (fun self e' ->
-          match e'.exp_desc with
-          | Texp_function _ -> closure_findings ~target ~emit e'
-          | _ -> Tast_iterator.default_iterator.expr self e');
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_let (_, vbs, _) -> List.iter add vbs
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+      structure_item =
+        (fun self item ->
+          (match item.str_desc with
+          | Tstr_value (_, vbs) -> List.iter add vbs
+          | _ -> ());
+          Tast_iterator.default_iterator.structure_item self item);
     }
   in
-  it.expr it e
+  it.structure it str;
+  binds
+
+(* Find the outermost closures in an argument expression (the closure may
+   sit under List.map, a tuple, a record, ...) and analyze each. Nested
+   closures are covered by the outer analysis: anything they capture from
+   outside the outermost closure is still a capture. When the argument is
+   (or mentions) a local ident bound earlier — `let worker x = ... in
+   Pool.map worker items` — the binding is chased and its closures are
+   analyzed the same way; the visited set guards against cycles, and the
+   chase is local-ident only (module-level functions from other units are
+   out of reach of a single cmt). *)
+let analyze_closures ~binds ~target ~emit (e : expression) =
+  let visited = Hashtbl.create 8 in
+  let rec go e =
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun self e' ->
+            match e'.exp_desc with
+            | Texp_function _ -> closure_findings ~target ~emit e'
+            | Texp_ident (Path.Pident id, _, _) -> (
+                let key = Ident.unique_name id in
+                if not (Hashtbl.mem visited key) then begin
+                  Hashtbl.add visited key ();
+                  match Hashtbl.find_opt binds key with
+                  | Some bound -> go bound
+                  | None -> ()
+                end)
+            | _ -> Tast_iterator.default_iterator.expr self e');
+      }
+    in
+    it.expr it e
+  in
+  go e
 
 (* ---------- D8/D9 collection ---------- *)
 
@@ -213,13 +263,23 @@ let has_universe_attr attrs =
 
 (* D9 part one: Rng.t bound at module level (top-level structure items and
    nested module structures — not expression-local bindings, which are
-   exactly where an Rng *should* live). *)
+   exactly where an Rng *should* live). A binding whose own pattern says
+   nothing about Rng can still smuggle a generator inside a record field
+   or tuple slot of its value, so when the pattern is clean the defining
+   expression is walked too — stopping at function boundaries, since a
+   module-level *function* that creates a local generator is exactly the
+   sanctioned shape. *)
 let rec d9_structure ~emit (str : structure) =
   List.iter
     (fun (item : structure_item) ->
       match item.str_desc with
       | Tstr_value (_, vbs) ->
-          List.iter (fun vb -> d9_pattern ~emit vb.vb_pat) vbs
+          List.iter
+            (fun vb ->
+              let hit = ref false in
+              d9_pattern ~emit:(fun r l m -> hit := true; emit r l m) vb.vb_pat;
+              if not !hit then d9_smuggled ~emit vb)
+            vbs
       | Tstr_module mb -> d9_module ~emit mb.mb_expr
       | Tstr_recmodule mbs -> List.iter (fun mb -> d9_module ~emit mb.mb_expr) mbs
       | _ -> ())
@@ -249,9 +309,40 @@ and d9_pattern ~emit (p : pattern) =
   | Tpat_construct (_, _, ps, _) -> List.iter (d9_pattern ~emit) ps
   | _ -> ()
 
+and d9_smuggled ~emit (vb : value_binding) =
+  let name =
+    match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) | Tpat_alias (_, id, _) -> Ident.name id
+    | _ -> "_"
+  in
+  let found = ref None in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.exp_desc with
+          | Texp_function _ -> ()
+          | _ ->
+              (match !found with
+              | None when is_rng_type e.exp_type -> found := Some e.exp_loc
+              | _ -> ());
+              Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it vb.vb_expr;
+  Option.iter
+    (fun loc ->
+      emit Lint.Rng_taint loc
+        (Printf.sprintf
+           "module-level value '%s' smuggles an Rng.t inside its structure (a record field or tuple slot); thread the generator through as a parameter instead"
+           name))
+    !found
+
 (* One walk per structure: D7 at parallel call sites, D8 send-site literal
    harvesting, D8 universe harvesting, D9 cross-module Rng reads. *)
 let scan_structure ~emit ~d8_sent ~d8_declared (str : structure) =
+  let binds = collect_value_binds str in
   let it =
     {
       Tast_iterator.default_iterator with
@@ -263,7 +354,7 @@ let scan_structure ~emit ~d8_sent ~d8_declared (str : structure) =
               | Some target ->
                   List.iter
                     (function
-                      | _, Some arg -> analyze_closures ~target ~emit arg
+                      | _, Some arg -> analyze_closures ~binds ~target ~emit arg
                       | _, None -> ())
                     args
               | None ->

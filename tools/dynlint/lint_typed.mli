@@ -6,9 +6,12 @@
       [Buffer.t], [Queue.t], [Stack.t], [Atomic.t], [Net.t], [Rng.t],
       [Dtree.t], [Metrics.t], [Sink.t]) bound outside the closure, or reads
       module-level mutable state — either way the value is shared across
-      Pool domains. Limitation: only closures syntactically present at the
-      call site are analyzed; a closure bound to a name first and passed as
-      an ident is not chased.
+      Pool domains. Closures need not be literal at the call site: a
+      closure bound to a local ident first ([let worker x = ... in
+      Pool.map worker items]) is chased through the binding, with a
+      visited set guarding cycles. Limitation: only idents let-bound in
+      the same compilation unit are chased; a closure imported from
+      another unit is not.
     - [D8]: the string literals flowing into [Net.send ~tag:] (collected
       recursively from the labelled argument, so helper calls like
       [tag t "agent-up"] count) are compared globally against the literals
@@ -18,7 +21,11 @@
       arms) at the declaration literal.
     - [D9]: an [Rng.t] bound at module level (including nested modules), or
       read from another module's value, is flagged; generators must flow
-      from function parameters or a local [Rng.create ~seed].
+      from function parameters or a local [Rng.create ~seed]. A module-
+      level value whose pattern says nothing about Rng but whose defining
+      expression carries an [Rng.t] inside a record field or tuple slot is
+      flagged too (the walk stops at function boundaries — a module-level
+      function creating a local generator is the sanctioned shape).
 
     Path and type heads are matched by suffix on "__"-split components, so
     wrapped libraries ([Mylib__Pool.map]) and module aliases both match.

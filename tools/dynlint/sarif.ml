@@ -22,6 +22,15 @@ let buf_add_json_string b s =
     s;
   Buffer.add_char b '"'
 
+(* Line- and column-free fingerprint over (rule, file, message): a finding
+   keeps its identity when unrelated edits shift it down the file, so a
+   stacked PR can diff SARIF uploads and surface only genuinely new
+   findings. Versioned key per the SARIF partialFingerprints convention. *)
+let fingerprint (f : Lint.finding) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ Lint.rule_id f.rule; f.file; f.msg ]))
+
 let rule_index rule =
   let rec idx i = function
     | [] -> 0
@@ -59,6 +68,9 @@ let render findings =
       raw "        {\"ruleId\": ";
       str (Lint.rule_id f.rule);
       raw (Printf.sprintf ", \"ruleIndex\": %d" (rule_index f.rule));
+      raw ", \"partialFingerprints\": {\"dynlintFinding/v1\": ";
+      str (fingerprint f);
+      raw "}";
       raw ", \"level\": \"error\", \"message\": {\"text\": ";
       str f.msg;
       raw "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ";

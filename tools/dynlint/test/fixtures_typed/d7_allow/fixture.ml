@@ -6,3 +6,9 @@ let total_serial items =
       total := !total + x)
     items;
   !total
+
+let double_named items =
+  (* an ident-bound closure with no mutable captures: the chase must stay
+     silent on it *)
+  let worker x = x * 2 in
+  Pool.map worker items

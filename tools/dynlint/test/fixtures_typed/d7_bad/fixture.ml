@@ -1,5 +1,7 @@
-(* Three D7 races: a local ref and a module-level Hashtbl captured by a
-   Pool.map closure, and a Buffer captured by Pool.run thunks. *)
+(* Four D7 races: a local ref and a module-level Hashtbl captured by a
+   Pool.map closure, a Buffer captured by Pool.run thunks, and a Hashtbl
+   captured by a closure that reaches Pool.map by name rather than
+   literally. *)
 let hits : (int, int) Hashtbl.t = Hashtbl.create 16
 
 let run_all items =
@@ -18,3 +20,12 @@ let log_all items =
   let buf = Buffer.create 64 in
   Pool.run (List.map (fun x () -> Buffer.add_string buf (string_of_int x)) items);
   Buffer.contents buf
+
+let run_named items =
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let worker x =
+    Hashtbl.replace seen x x;
+    x
+  in
+  let results = Pool.map worker items in
+  (results, Hashtbl.length seen)

@@ -1,2 +1,8 @@
 (* dynlint: allow rng-taint -- fixture: pretend legacy module pending the threading refactor *)
 let ambient = Rng.create ~seed:42
+
+type bundle = { gen : Rng.t; label : string }
+
+(* A module-level *function* building a bundle from a caller seed is the
+   sanctioned shape: the smuggling walk stops at function boundaries. *)
+let fresh_bundle ~seed = { gen = Rng.create ~seed; label = "local" }

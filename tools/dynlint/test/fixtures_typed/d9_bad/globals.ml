@@ -1,3 +1,8 @@
 (* A module-level generator: draw order now depends on domain interleaving
    and no caller can reseed a run. *)
 let ambient = Rng.create ~seed:42
+
+type bundle = { gen : Rng.t; label : string }
+
+(* The binding's own type says nothing about Rng; only a field does. *)
+let hidden = { gen = Rng.create ~seed:7; label = "smuggled" }

@@ -104,8 +104,16 @@ let typed_ids dir =
   List.map (fun f -> Lint.rule_id f.Lint.rule) (typed_findings dir)
 
 let test_d7 () =
-  (* the local ref, the module-level Hashtbl, the Buffer under Pool.run *)
-  check_ids "d7_bad" [ "D7"; "D7"; "D7" ] (typed_ids "d7_bad");
+  (* the local ref, the module-level Hashtbl, the Buffer under Pool.run,
+     and the Hashtbl captured by the ident-bound closure Pool.map chases *)
+  check_ids "d7_bad" [ "D7"; "D7"; "D7"; "D7" ] (typed_ids "d7_bad");
+  (match
+     List.find_opt
+       (fun f -> contains f.Lint.msg "'seen'")
+       (typed_findings "d7_bad")
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "ident-bound closure capture of 'seen' not chased");
   check_ids "d7_allow" [] (typed_ids "d7_allow")
 
 let test_d7_cross_module () =
@@ -136,15 +144,23 @@ let test_d8 () =
 
 let test_d9 () =
   (match typed_findings "d9_bad" with
-  | [ use; binding ] ->
-      check_ids "d9_bad ids" [ "D9"; "D9" ]
-        [ Lint.rule_id use.Lint.rule; Lint.rule_id binding.Lint.rule ];
+  | [ use; binding; smuggle ] ->
+      check_ids "d9_bad ids" [ "D9"; "D9"; "D9" ]
+        [
+          Lint.rule_id use.Lint.rule;
+          Lint.rule_id binding.Lint.rule;
+          Lint.rule_id smuggle.Lint.rule;
+        ];
       Alcotest.(check bool) "cross-module read flagged" true
         (contains use.Lint.file "fixture.ml" && contains use.Lint.msg "Globals.ambient");
       Alcotest.(check bool) "module-level binding flagged" true
-        (contains binding.Lint.file "globals.ml" && contains binding.Lint.msg "ambient")
+        (contains binding.Lint.file "globals.ml" && contains binding.Lint.msg "ambient");
+      Alcotest.(check bool) "record-field smuggling flagged" true
+        (contains smuggle.Lint.file "globals.ml"
+        && contains smuggle.Lint.msg "hidden"
+        && contains smuggle.Lint.msg "smuggles")
   | fs ->
-      Alcotest.failf "d9_bad: expected exactly 2 findings, got %d"
+      Alcotest.failf "d9_bad: expected exactly 3 findings, got %d"
         (List.length fs));
   check_ids "d9_allow" [] (typed_ids "d9_allow")
 
@@ -228,7 +244,17 @@ let test_sarif_structure () =
       Alcotest.(check int) "startLine" f.line (J.to_int (J.member "startLine" region));
       (* SARIF columns are 1-based; findings are 0-based *)
       Alcotest.(check int) "startColumn" (f.col + 1)
-        (J.to_int (J.member "startColumn" region)))
+        (J.to_int (J.member "startColumn" region));
+      (* the fingerprint is line-free: md5 of rule + file + message only *)
+      let fp =
+        J.to_str
+          (J.member "dynlintFinding/v1" (J.member "partialFingerprints" r))
+      in
+      Alcotest.(check string) "partialFingerprint"
+        (Digest.to_hex
+           (Digest.string
+              (String.concat "\x00" [ Lint.rule_id f.rule; f.file; f.msg ])))
+        fp)
     results findings
 
 (* ---------------------------------------------------------------- *)
