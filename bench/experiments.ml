@@ -722,6 +722,105 @@ let e13 ctx =
         (Stats.pretty_int stats.Dist_harness.messages)
         (Stats.pretty_int stats.Dist_harness.sim_time))
 
+(* ------------------------------------------------------------------ *)
+(* E14: scale - the arena tree at 10^6 nodes                           *)
+
+let e14 ctx =
+  section ctx "E14" "scale: 10^6-node trees under churn and a deep-path adversary";
+  printf ctx
+    "the flat-arena Dtree at full scale: a random tree of 2^20 nodes under@.";
+  printf ctx
+    "churn, a deep caterpillar under shrink-heavy churn, and a@.";
+  printf ctx
+    "2^20-node path driven by deep-biased requests -- the degenerate shape@.";
+  printf ctx
+    "whose recursive traversals overflowed the stack before the arena. Every@.";
+  printf ctx
+    "row closes with a full structural audit plus a DFS fold and a subtree@.";
+  printf ctx "size at the root, all iterative@.@.";
+  printf ctx "%14s %9s %9s %14s %9s %9s %6s@." "shape" "n0" "granted" "moves"
+    "final n" "dfs n" "audit";
+  rows ctx [ `Churn; `Shrink; `Deep ] (fun row kind ->
+      let shape_name, n0, granted, moves, tree =
+        match kind with
+        | `Churn ->
+            let n0 = 1 lsl 20 in
+            let tree, ctrl, wl =
+              phase row "e14/build" (fun () ->
+                  let rng = Rng.create ~seed:201 in
+                  let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
+                  let m = n0 / 4 and w = n0 / 32 in
+                  let ctrl = Adaptive.create ~m ~w ~tree () in
+                  let wl = Workload.make ~seed:202 ~mix:Workload.Mix.churn () in
+                  (tree, ctrl, wl))
+            in
+            phase row "e14/drive" (fun () ->
+                for _ = 1 to n0 / 8 do
+                  ignore (Adaptive.request ctrl (Workload.next_op wl tree))
+                done);
+            ("random-churn", n0, Adaptive.granted ctrl, Adaptive.moves ctrl, tree)
+        | `Shrink ->
+            let n0 = 1 lsl 15 in
+            let tree, ctrl, wl =
+              phase row "e14/build" (fun () ->
+                  let rng = Rng.create ~seed:203 in
+                  let tree =
+                    Workload.Shape.build rng (Workload.Shape.Caterpillar n0)
+                  in
+                  let m = n0 / 4 and w = n0 / 32 in
+                  let ctrl = Adaptive.create ~m ~w ~tree () in
+                  let wl =
+                    Workload.make ~seed:204 ~mix:Workload.Mix.shrink_heavy ()
+                  in
+                  (tree, ctrl, wl))
+            in
+            phase row "e14/drive" (fun () ->
+                for _ = 1 to n0 / 8 do
+                  ignore (Adaptive.request ctrl (Workload.next_op wl tree))
+                done);
+            ("cat-shrink", n0, Adaptive.granted ctrl, Adaptive.moves ctrl, tree)
+        | `Deep ->
+            let n0 = 1 lsl 20 in
+            let m = 32 in
+            let tree, ctrl, wl =
+              phase row "e14/build" (fun () ->
+                  let rng = Rng.create ~seed:205 in
+                  let tree = Workload.Shape.build rng (Workload.Shape.Path n0) in
+                  let u = n0 + m + 64 in
+                  let ctrl =
+                    Central.create ~reject_mode:Types.Report ?telemetry:row.sink
+                      ~params:(Params.make ~m ~w:(m / 2) ~u)
+                      ~tree ()
+                  in
+                  let wl =
+                    Workload.make ~seed:206 ~deep_bias:true
+                      ~mix:Workload.Mix.grow_only ()
+                  in
+                  (tree, ctrl, wl))
+            in
+            phase row "e14/drive" (fun () ->
+                (* every grant climbs ~n0 hops: the adversarial row *)
+                let exhausted = ref false in
+                while not !exhausted do
+                  match Central.request ctrl (Workload.next_op wl tree) with
+                  | Types.Granted -> ()
+                  | Types.Exhausted -> exhausted := true
+                  | Types.Rejected -> assert false  (* dynlint: allow unsafe -- base controller runs in report mode and never rejects *)
+                done);
+            ("deep-path", n0, Central.granted ctrl, Central.moves ctrl, tree)
+      in
+      let dfs, sub =
+        phase row "e14/verify" (fun () ->
+            Dtree.check tree;
+            let dfs = Dtree.fold_dfs tree ~init:0 ~f:(fun acc _ -> acc + 1) in
+            (dfs, Dtree.subtree_size tree (Dtree.root tree)))
+      in
+      let audit_ok = dfs = Dtree.size tree && sub = Dtree.size tree in
+      note row ~moves ();
+      printf row "%14s %9d %9d %14s %9d %9d %6s@." shape_name n0 granted
+        (Stats.pretty_int moves) (Dtree.size tree) dfs
+        (if audit_ok then "ok" else "FAIL"))
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-            ("e11", e11); ("e12", e12); ("e13", e13) ]
+            ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14) ]

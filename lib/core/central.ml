@@ -73,9 +73,12 @@ let with_metrics t f =
   match t.telemetry with None -> () | Some s -> f (Telemetry.Sink.metrics s)
 
 let store t v =
-  match Hashtbl.find_opt t.stores v with
-  | Some s -> s
-  | None ->
+  (* exception form rather than [find_opt]: this lookup runs once per hop
+     of every climb, and the [Some] the option form allocates per hop was
+     a top allocator in the e2-e4 gc_phases profiles *)
+  match Hashtbl.find t.stores v with
+  | s -> s
+  | exception Not_found ->
       let s = Store.empty () in
       Hashtbl.replace t.stores v s;
       s
@@ -196,18 +199,29 @@ let grant t u op =
   t.granted <- t.granted + 1;
   apply_event t op
 
-(* Climb from [u] towards the root looking for the closest filler node. *)
+(* Filler lookup that leaves absent stores absent: a climb over a 10^6-node
+   path must not populate the store table with one empty record per hop. *)
+let take_filler t w ~d =
+  match Hashtbl.find t.stores w with
+  | s -> (
+      match Store.find_filler s ~params:t.params ~distance:d with
+      | Some pkg as found ->
+          Store.remove_mobile s pkg;
+          found
+      | None -> None)
+  | exception Not_found -> None
+
+(* Climb from [u] towards the root looking for the closest filler node.
+   [parent_id] keeps the per-hop loop allocation-free. *)
 let rec climb t ~u w ~d =
-  let s = store t w in
-  match Store.find_filler s ~params:t.params ~distance:d with
+  match take_filler t w ~d with
   | Some pkg ->
-      Store.remove_mobile s pkg;
       proc t ~u pkg ~d_w:d;
       Ok ()
   | None -> (
-      match Dtree.parent t.tree w with
-      | Some parent -> climb t ~u parent ~d:(d + 1)
-      | None ->
+      match Dtree.parent_id t.tree w with
+      | parent when parent >= 0 -> climb t ~u parent ~d:(d + 1)
+      | _ ->
           (* w is the root and not a filler: item 3b. *)
           let j = Params.creation_level t.params d in
           let need = Params.mobile_size t.params j in

@@ -42,6 +42,8 @@ type t = {
   net : Net.t;
   config : config;
   wbs : (Dtree.node, wb) Hashtbl.t;
+  tags : (string, string) Hashtbl.t;
+    (* suffix -> "<name>-<suffix>", precomputed so [tag] allocates nothing *)
   mutable storage : int;
   mutable granted : int;
   mutable rejected : int;
@@ -54,12 +56,31 @@ type t = {
 
 let tree t = Net.tree t.net
 
+(* Every message-tag suffix this controller can put on the wire — the one
+   declared tag universe the static (dynlint D8) and runtime
+   (test_conformance) protocol-conformance checks both compare against.
+   The attribute is what D8 keys on; keep the list literal-only. *)
+let tag_suffixes =
+  [
+    "agent-down";
+    "agent-reject";
+    "agent-release";
+    "agent-return";
+    "agent-unlock";
+    "agent-up";
+    "reject-wave";
+  ]
+[@@dynlint.tag_universe]
+
 let create ?(config = default_config) ~params ~net () =
+  let tags = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace tags s (config.name ^ "-" ^ s)) tag_suffixes;
   {
     params;
     net;
     config;
     wbs = Hashtbl.create 64;
+    tags;
     storage = params.Params.m;
     granted = 0;
     rejected = 0;
@@ -81,9 +102,11 @@ let fresh_wb t =
   }
 
 let wb t v =
-  match Hashtbl.find_opt t.wbs v with
-  | Some w -> w
-  | None ->
+  (* exception form rather than [find_opt]: every agent hop does this
+     lookup, and the [Some] would be a per-hop allocation *)
+  match Hashtbl.find t.wbs v with
+  | w -> w
+  | exception Not_found ->
       let w = fresh_wb t in
       Hashtbl.replace t.wbs v w;
       w
@@ -115,23 +138,12 @@ let agent_bits t =
 
 let reject_bits t = log_n t
 
-let tag t suffix = t.config.name ^ "-" ^ suffix
-
-(* Every message-tag suffix this controller can put on the wire — the one
-   declared tag universe the static (dynlint D8) and runtime
-   (test_conformance) protocol-conformance checks both compare against.
-   The attribute is what D8 keys on; keep the list literal-only. *)
-let tag_suffixes =
-  [
-    "agent-down";
-    "agent-reject";
-    "agent-release";
-    "agent-return";
-    "agent-unlock";
-    "agent-up";
-    "reject-wave";
-  ]
-[@@dynlint.tag_universe]
+let tag t suffix =
+  (* the table covers [tag_suffixes]; a send was allocating a fresh joined
+     string per message before this was precomputed at [create] *)
+  match Hashtbl.find t.tags suffix with
+  | joined -> joined
+  | exception Not_found -> t.config.name ^ "-" ^ suffix
 
 let tag_universe ~name = List.map (fun s -> name ^ "-" ^ s) tag_suffixes
 let tags t = tag_universe ~name:t.config.name
@@ -155,8 +167,7 @@ let is_topological = function
 (* Reject wave                                                         *)
 
 let rec flood_reject t v =
-  List.iter
-    (fun c ->
+  Dtree.iter_children (tree t) v ~f:(fun c ->
       Net.send t.net ~src:v ~addr:(Net.Exact c) ~tag:(tag t "reject-wave")
         ~bits:(reject_bits t) (fun c' ->
           let b = wb t c' in
@@ -165,7 +176,6 @@ let rec flood_reject t v =
             touch_mem t c';
             flood_reject t c'
           end))
-    (Dtree.children (tree t) v)
 
 let start_wave t r =
   if not t.wave then begin

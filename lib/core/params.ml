@@ -34,15 +34,18 @@ let landing_distance p k =
 
 let domain_size p k = if k = 0 then p.psi / 2 else (1 lsl (k - 1)) * p.psi
 
-let filler_level_at p d =
-  if d <= 2 * p.psi then Some 0
+let filler_level_index p d =
+  if d <= 2 * p.psi then 0
   else
     let rec go j =
-      if j > p.max_level + 1 then None
-      else if (1 lsl j) * p.psi < d && d <= (1 lsl (j + 1)) * p.psi then Some j
+      if j > p.max_level + 1 then -1
+      else if (1 lsl j) * p.psi < d && d <= (1 lsl (j + 1)) * p.psi then j
       else go (j + 1)
     in
     go 1
+
+let filler_level_at p d =
+  match filler_level_index p d with -1 -> None | j -> Some j
 
 let creation_level p d_root =
   let rec go j = if d_root <= (1 lsl (j + 1)) * p.psi then j else go (j + 1) in

@@ -47,6 +47,10 @@ val filler_level_at : t -> int -> int option
     [2^j psi < d <= 2^(j+1) psi]; [None] if [d] exceeds the range covered by
     levels [0..max_level]. *)
 
+val filler_level_index : t -> int -> int
+(** [filler_level_at] without the option: [-1] where it answers [None].
+    For per-hop climbing loops that cannot afford the [Some] allocation. *)
+
 val creation_level : t -> int -> int
 (** [creation_level p d_root]: the smallest [j >= 0] with
     [d_root <= 2^(j+1) psi] — the level of the package the root creates for a

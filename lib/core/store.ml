@@ -21,14 +21,18 @@ let remove_mobile t (p : Package.t) =
       t.mobiles;
   if not !found then invalid_arg "Store.remove_mobile: package not hosted here"
 
+(* [j] is threaded as an argument: capturing it would make [first] a real
+   closure, allocated once per call — i.e. once per hop of every climb. *)
+let rec first_at_level j = function
+  | [] -> None
+  | (p : Package.t) :: rest -> if p.level = j then Some p else first_at_level j rest
+
 let find_filler t ~params ~distance =
-  match Params.filler_level_at params distance with
-  | None -> None
-  | Some j ->
-      let candidates =
-        List.filter (fun (p : Package.t) -> p.level = j) t.mobiles
-      in
-      (match candidates with [] -> None | p :: _ -> Some p)
+  (* Runs once per hop of every climb: no intermediate candidate list, and
+     the level query is the int-returning variant, so a miss allocates
+     nothing at all. *)
+  let j = Params.filler_level_index params distance in
+  if j < 0 then None else first_at_level j t.mobiles
 
 let static t = t.static
 

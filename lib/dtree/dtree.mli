@@ -3,22 +3,36 @@
     The network of the paper is spanned by a rooted tree [T] whose root is
     never deleted. [T] undergoes four kinds of topological changes (paper,
     Section 2.1.2): add-leaf, remove-leaf, add-internal-node and
-    remove-internal-node. Node identifiers are small integers, never reused;
-    deleted nodes keep their identifier so that traces and "domains" (which
-    may contain deleted nodes) can refer to them.
+    remove-internal-node. Node identifiers are small integers, by default
+    never reused; deleted nodes keep their identifier so that traces and
+    "domains" (which may contain deleted nodes) can refer to them.
+
+    The representation is an int-indexed arena: flat integer columns for
+    parent / first-child / next-sibling / prev-sibling with Buffer-style
+    doubling growth (see DESIGN.md "Arena tree layout"). Ids index the
+    columns directly, climbs and traversals are array reads with no
+    per-step allocation, and every traversal below is iterative — a
+    degenerate path of 10^6+ nodes is fine where a recursive
+    representation overflows the stack.
 
     All operations run in time O(1) except [remove_internal] which is
     O(number of adopted children), matching the cost the paper itself charges
     for moving a deleted node's state to its parent. *)
 
 type node = int
-(** Stable node identifier. The root of a fresh tree is node [0]. *)
+(** Stable node identifier. The root of a fresh tree is node [0]. A node's
+    id never changes while it is live. *)
 
 type t
 (** A mutable rooted dynamic tree. *)
 
-val create : unit -> t
-(** A tree containing only its root. *)
+val create : ?reuse_ids:bool -> unit -> t
+(** A tree containing only its root. With [~reuse_ids:true] the ids of
+    deleted nodes are recycled (most recently deleted first), bounding the
+    arena by the peak live size instead of by the total number of nodes
+    ever created; the default [false] keeps ids unique forever, which the
+    controller's domain bookkeeping relies on. Either way [ever_created]
+    counts logical creations. *)
 
 val root : t -> node
 
@@ -48,8 +62,23 @@ val parent : t -> node -> node option
 (** Current parent; [None] for the root.
     @raise Invalid_argument if the node is not live. *)
 
+val parent_id : t -> node -> node
+(** Current parent as a bare id, [-1] for the root: the allocation-free
+    variant of [parent] for hot climbing loops.
+    @raise Invalid_argument if the node is not live. *)
+
 val children : t -> node -> node list
-(** Current children, in unspecified order. *)
+(** Current children, in unspecified order. Allocates the list; hot paths
+    should prefer [iter_children]/[fold_children]. *)
+
+val iter_children : t -> node -> f:(node -> unit) -> unit
+(** Iterate over the current children without building a list. [f] may
+    delete the child it is handed (the link is read before the call) but
+    must not otherwise change [v]'s child list. *)
+
+val fold_children : t -> node -> init:'a -> f:('a -> node -> 'a) -> 'a
+(** Fold over the current children without building a list. [f] must not
+    change [v]'s child list. *)
 
 val child_degree : t -> node -> int
 (** Number of children (the paper's [deg(v)]). *)
@@ -97,11 +126,11 @@ val live_nodes : t -> node list
 val leaves : t -> node list
 
 val any_leaf : t -> node
-(** Some live leaf, found by descending from the root — O(depth), unlike
-    [List.hd (leaves t)] which folds over every node ever created. Returns
-    the root itself when the tree is a singleton. Deterministic for a given
-    tree history (child choice follows hash-table order, which is a function
-    of the insertion sequence). *)
+(** Some live leaf, found by descending first children from the root —
+    O(depth), unlike [List.hd (leaves t)] which scans every node ever
+    created. Returns the root itself when the tree is a singleton.
+    Deterministic for a given tree history (sibling order is a function of
+    the op sequence). *)
 
 val internal_nodes : t -> node list
 (** Live non-root nodes of tree degree > 1 (removable as internal nodes). *)

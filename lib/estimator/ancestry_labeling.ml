@@ -48,7 +48,7 @@ let relabel t =
   in
   let rec go v =
     let lo = emit () in
-    List.iter go (Dtree.children t.tree v);
+    Dtree.iter_children t.tree v ~f:go;
     let hi = emit () in
     Hashtbl.replace t.cells v (lo, hi)
   in

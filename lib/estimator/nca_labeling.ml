@@ -43,7 +43,7 @@ let relabel t =
   Hashtbl.reset t.members;
   let sizes = Hashtbl.create 64 in
   let rec fill v =
-    let s = List.fold_left (fun acc c -> acc + fill c) 1 (Dtree.children t.tree v) in
+    let s = Dtree.fold_children t.tree v ~init:1 ~f:(fun acc c -> acc + fill c) in
     Hashtbl.replace sizes v s;
     s
   in
@@ -52,20 +52,15 @@ let relabel t =
     let label = Array.append prefix [| { path; pos } |] in
     Hashtbl.replace t.labels v label;
     push_member t path v;
-    match Dtree.children t.tree v with
-    | [] -> ()
-    | children ->
-        let heavy =
-          List.fold_left
-            (fun best c ->
-              if Hashtbl.find sizes c > Hashtbl.find sizes best then c else best)
-            (List.hd children) (List.tl children)
-        in
-        List.iter
-          (fun c ->
-            if c = heavy then go c prefix path (pos + 1)
-            else go c label (fresh_path t) 0)
-          children
+    let heavy =
+      Dtree.fold_children t.tree v ~init:(-1) ~f:(fun best c ->
+          if best < 0 || Hashtbl.find sizes c > Hashtbl.find sizes best then c
+          else best)
+    in
+    if heavy >= 0 then
+      Dtree.iter_children t.tree v ~f:(fun c ->
+          if c = heavy then go c prefix path (pos + 1)
+          else go c label (fresh_path t) 0)
   in
   go (Dtree.root t.tree) [||] (fresh_path t) 0
 

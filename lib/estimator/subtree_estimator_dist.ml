@@ -54,7 +54,7 @@ let start_epoch t =
   Hashtbl.reset t.s;
   Hashtbl.reset t.sw;
   let rec fill v =
-    let s = List.fold_left (fun acc c -> acc + fill c) 1 (Dtree.children (tree t) v) in
+    let s = Dtree.fold_children (tree t) v ~init:1 ~f:(fun acc c -> acc + fill c) in
     Hashtbl.replace t.omega0 v s;
     Hashtbl.replace t.sw v s;
     s

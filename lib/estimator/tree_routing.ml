@@ -19,9 +19,12 @@ let next_hop t ~at ~dst =
   else
     (* the unique child whose interval contains the target *)
     let child =
-      List.find_opt
-        (fun c -> contains (Ancestry_labeling.label t.labels c) target)
-        (Dtree.children t.tree at)
+      Dtree.fold_children t.tree at ~init:None ~f:(fun acc c ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if contains (Ancestry_labeling.label t.labels c) target then Some c
+              else None)
     in
     match child with
     | Some c -> c

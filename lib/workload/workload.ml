@@ -203,7 +203,15 @@ let in_hotspot w tree v =
   | Some h -> (not (Dtree.live tree h)) || Dtree.is_ancestor tree ~anc:h ~desc:v
 
 let refresh_cache w tree =
-  w.cache <- Array.of_list (Dtree.live_nodes tree);
+  (* fill the array straight from the live-node iterator: no intermediate
+     list, which at 10^6 nodes is the difference between a refresh being a
+     scan and being a GC event *)
+  let a = Array.make (Dtree.size tree) (Dtree.root tree) in
+  let i = ref 0 in
+  Dtree.iter_nodes tree ~f:(fun v ->
+      a.(!i) <- v;
+      incr i);
+  w.cache <- a;
   w.cache_stamp <- Dtree.change_count tree
 
 (* Sample a live node satisfying [pred]. Samples come from a cached snapshot
@@ -241,11 +249,25 @@ let pick_target w tree ~pred =
   in
   match attempt 40 with
   | Some v -> Some v
-  | None -> (
+  | None ->
+      (* Scan the fresh cache in place: when witnesses are rare every
+         request lands here, and materialising the witness list was the
+         dominant allocation of shrink-heavy runs. One RNG draw, exactly
+         like [Rng.pick] on the witness list. *)
       refresh_cache w tree;
-      match Array.to_list w.cache |> List.filter pred with
-      | [] -> None
-      | witnesses -> Some (Rng.pick w.rng witnesses))
+      let matches = ref 0 in
+      Array.iter (fun v -> if pred v then incr matches) w.cache;
+      if !matches = 0 then None
+      else begin
+        let k = ref (Rng.int w.rng !matches) in
+        let found = ref (-1) in
+        Array.iter
+          (fun v ->
+            if !found < 0 && pred v then
+              if !k = 0 then found := v else decr k)
+          w.cache;
+        Some !found
+      end
 
 let kind_of_mix w =
   let m = w.mix in

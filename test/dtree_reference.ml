@@ -1,0 +1,207 @@
+(* The seed Hashtbl-of-records Dtree, kept verbatim (minus the operations the
+   differential test does not exercise) as the oracle for
+   [Test_dtree_arena.test_differential]: both implementations replay the same
+   op sequence and must agree on every structural query. Do not "improve"
+   this file — its value is being the old representation. *)
+
+type node = int
+
+type entry = {
+  mutable parent : node option;
+  children : (node, unit) Hashtbl.t;
+  mutable live : bool;
+  mutable parent_port : int;
+}
+
+type t = {
+  nodes : (node, entry) Hashtbl.t;
+  mutable next_id : node;
+  mutable live_count : int;
+  mutable changes : int;
+  mutable port_counter : int;
+}
+
+let root _t = 0
+
+let fresh_port t =
+  t.port_counter <- t.port_counter + 1;
+  t.port_counter
+
+let create () =
+  let t =
+    {
+      nodes = Hashtbl.create 64;
+      next_id = 0;
+      live_count = 0;
+      changes = 0;
+      port_counter = 0;
+    }
+  in
+  Hashtbl.replace t.nodes 0
+    { parent = None; children = Hashtbl.create 4; live = true; parent_port = -1 };
+  t.next_id <- 1;
+  t.live_count <- 1;
+  t
+
+let entry t v =
+  match Hashtbl.find_opt t.nodes v with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Dtree: unknown node %d" v)
+
+let live t v =
+  match Hashtbl.find_opt t.nodes v with Some e -> e.live | None -> false
+
+let live_entry op t v =
+  let e = entry t v in
+  if not e.live then
+    invalid_arg (Printf.sprintf "Dtree.%s: node %d is not live" op v);
+  e
+
+let add_leaf t ~parent =
+  let pe = live_entry "add_leaf" t parent in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.nodes id
+    {
+      parent = Some parent;
+      children = Hashtbl.create 2;
+      live = true;
+      parent_port = fresh_port t;
+    };
+  Hashtbl.replace pe.children id ();
+  t.live_count <- t.live_count + 1;
+  t.changes <- t.changes + 1;
+  id
+
+let is_leaf t v =
+  let e = live_entry "is_leaf" t v in
+  Hashtbl.length e.children = 0
+
+let remove_leaf t v =
+  if v = 0 then invalid_arg "Dtree.remove_leaf: cannot remove the root";
+  let e = live_entry "remove_leaf" t v in
+  if Hashtbl.length e.children <> 0 then
+    invalid_arg (Printf.sprintf "Dtree.remove_leaf: node %d is not a leaf" v);
+  (match e.parent with
+  | Some p -> Hashtbl.remove (entry t p).children v
+  | None -> assert false);
+  e.live <- false;
+  e.parent <- None;
+  t.live_count <- t.live_count - 1;
+  t.changes <- t.changes + 1
+
+let add_internal t ~above =
+  if above = 0 then invalid_arg "Dtree.add_internal: cannot insert above the root";
+  let we = live_entry "add_internal" t above in
+  let v = match we.parent with Some p -> p | None -> assert false in
+  let ve = entry t v in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let ue =
+    {
+      parent = Some v;
+      children = Hashtbl.create 2;
+      live = true;
+      parent_port = fresh_port t;
+    }
+  in
+  Hashtbl.replace t.nodes id ue;
+  Hashtbl.remove ve.children above;
+  Hashtbl.replace ve.children id ();
+  Hashtbl.replace ue.children above ();
+  we.parent <- Some id;
+  we.parent_port <- fresh_port t;
+  t.live_count <- t.live_count + 1;
+  t.changes <- t.changes + 1;
+  id
+
+let remove_internal t v =
+  if v = 0 then invalid_arg "Dtree.remove_internal: cannot remove the root";
+  let e = live_entry "remove_internal" t v in
+  if Hashtbl.length e.children = 0 then
+    invalid_arg (Printf.sprintf "Dtree.remove_internal: node %d is a leaf" v);
+  let p = match e.parent with Some p -> p | None -> assert false in
+  let pe = entry t p in
+  Hashtbl.remove pe.children v;
+  Hashtbl.iter
+    (fun c () ->
+      let ce = entry t c in
+      ce.parent <- Some p;
+      ce.parent_port <- fresh_port t;
+      Hashtbl.replace pe.children c ())
+    e.children;
+  Hashtbl.reset e.children;
+  e.live <- false;
+  e.parent <- None;
+  t.live_count <- t.live_count - 1;
+  t.changes <- t.changes + 1
+
+let parent t v =
+  let e = live_entry "parent" t v in
+  e.parent
+
+let children t v =
+  let e = live_entry "children" t v in
+  Hashtbl.fold (fun c () acc -> c :: acc) e.children []
+
+let child_degree t v = Hashtbl.length (live_entry "child_degree" t v).children
+let size t = t.live_count
+let ever_created t = t.next_id
+let change_count t = t.changes
+
+let depth t v =
+  let rec go v acc =
+    match (live_entry "depth" t v).parent with
+    | None -> acc
+    | Some p -> go p (acc + 1)
+  in
+  go v 0
+
+let lowest_common_ancestor t u v =
+  let du = depth t u and dv = depth t v in
+  let up w = match (entry t w).parent with Some p -> p | None -> assert false in
+  let rec lift w k = if k = 0 then w else lift (up w) (k - 1) in
+  let u, v = if du >= dv then (lift u (du - dv), v) else (u, lift v (dv - du)) in
+  let rec meet u v = if u = v then u else meet (up u) (up v) in
+  meet u v
+
+let live_nodes t =
+  Hashtbl.fold (fun v e acc -> if e.live then v :: acc else acc) t.nodes []
+
+let leaves t =
+  Hashtbl.fold
+    (fun v e acc -> if e.live && Hashtbl.length e.children = 0 then v :: acc else acc)
+    t.nodes []
+
+let subtree_size t v =
+  ignore (live_entry "subtree_size" t v);
+  let rec go v =
+    Hashtbl.fold (fun c () acc -> acc + go c) (entry t v).children 1
+  in
+  go v
+
+let check t =
+  let seen = Hashtbl.create 64 in
+  let rec visit v d =
+    if d > t.next_id then failwith "Dtree.check: cycle detected";
+    if Hashtbl.mem seen v then failwith "Dtree.check: node visited twice";
+    Hashtbl.replace seen v ();
+    let e = entry t v in
+    if not e.live then failwith "Dtree.check: dead node reachable";
+    Hashtbl.iter
+      (fun c () ->
+        let ce = entry t c in
+        (match ce.parent with
+        | Some p when p = v -> ()
+        | _ -> failwith "Dtree.check: parent/child asymmetry");
+        visit c (d + 1))
+      e.children
+  in
+  visit 0 0;
+  if Hashtbl.length seen <> t.live_count then
+    failwith "Dtree.check: live node not reachable from the root";
+  Hashtbl.iter
+    (fun v e ->
+      if e.live && not (Hashtbl.mem seen v) then
+        failwith "Dtree.check: orphan live node")
+    t.nodes

@@ -95,7 +95,7 @@ let test_experiments_deterministic () =
       Alcotest.(check (list int))
         (name ^ ": messages/moves/bits/rows identical at -j 4")
         tally1 tally4)
-    [ "e6"; "e10"; "e13" ]
+    [ "e6"; "e10"; "e13"; "e14" ]
 
 (* ------------------------------------------------------------------ *)
 (* Explore.sweep is identical at any -j                                *)
