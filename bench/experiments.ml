@@ -821,6 +821,51 @@ let e14 ctx =
         (Stats.pretty_int moves) (Dtree.size tree) dfs
         (if audit_ok then "ok" else "FAIL"))
 
+(* ------------------------------------------------------------------ *)
+(* E15: scale - the message-bound hot path at 10^5 nodes               *)
+
+let e15 ctx =
+  section ctx "E15" "scale: message-bound distributed estimation on a 10^5-node tree";
+  printf ctx
+    "the send path as the bottleneck: a subtree estimator rides the@.";
+  printf ctx
+    "distributed controller's agents over a random 10^5-node tree under@.";
+  printf ctx
+    "churn, millions of messages through the interned-tag, pooled-cell@.";
+  printf ctx "delivery path@.@.";
+  printf ctx "%14s %9s %9s %14s %9s %9s@." "shape" "n0" "changes" "messages"
+    "epochs" "final n";
+  rows ctx [ (100_000, 125_000) ] (fun row (n0, requests) ->
+      let tree, net, st, wl =
+        phase row "e15/build" (fun () ->
+            let rng = Rng.create ~seed:211 in
+            let tree = Workload.Shape.build rng (Workload.Shape.Random n0) in
+            let net =
+              Net.create ~seed:212 ?scheduler:row.scheduler ?sink:row.sink
+                ~tree ()
+            in
+            let st = Estimator.Subtree_estimator_dist.create ~net () in
+            let wl = Workload.make ~seed:213 ~mix:Workload.Mix.churn () in
+            (tree, net, st, wl))
+      in
+      phase row "e15/drive" (fun () ->
+          let submitted = ref 0 in
+          let rec pump () =
+            if !submitted < requests then begin
+              incr submitted;
+              Estimator.Subtree_estimator_dist.submit st
+                (Workload.next_op wl tree) ~k:pump
+            end
+          in
+          pump ();
+          Net.run net);
+      note row ~messages:(Net.messages net) ~bits:(Net.total_bits net) ();
+      printf row "%14s %9d %9d %14s %9d %9d@." "random-churn" n0 requests
+        (Stats.pretty_int (Net.messages net))
+        (Estimator.Subtree_estimator_dist.epochs st)
+        (Dtree.size tree))
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-            ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14) ]
+            ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
+            ("e15", e15) ]

@@ -1,4 +1,4 @@
-(* Benchmark harness: experiments E1-E13 (one per quantitative claim of the
+(* Benchmark harness: experiments E1-E15 (one per quantitative claim of the
    paper; see DESIGN.md and EXPERIMENTS.md) plus Bechamel micro-benchmarks
    of the hot operations.
 
@@ -47,7 +47,7 @@ let micro_tests () =
   let t_queue =
     Test.make ~name:"event queue: add+pop"
       (Staged.stage
-         (let q = Event_queue.create () in
+         (let q = Event_queue.create ~dummy:() in
           let i = ref 0 in
           fun () ->
             incr i;
@@ -121,6 +121,11 @@ let outcome_json scheduler o =
         ("peak_heap_words", Int o.peak_heap_words);
         ("scheduler", String scheduler);
         ("wall_s", Float o.wall_s);
+        ( "msgs_per_s",
+          Float
+            (if o.wall_s > 0.0 then
+               float_of_int o.tally.Experiments.Results.messages /. o.wall_s
+             else 0.0) );
         ("gc_phases", Telemetry.Profile.to_json o.profile);
       ] )
 
@@ -283,7 +288,7 @@ let () =
             results :=
               { name; tally = ctx.Experiments.tally; wall_s; peak_heap_words; profile }
               :: !results
-        | None -> Format.printf "unknown experiment %S (have: e1..e13, micro)@." name)
+        | None -> Format.printf "unknown experiment %S (have: e1..e15, micro)@." name)
     wanted;
   let outcomes = List.rev !results in
   (match trace_file with

@@ -13,6 +13,54 @@ let default_config =
     on_permits_down = (fun ~node:_ ~size:_ -> ());
   }
 
+(* The wire-tag universe as a variant: exhaustiveness of [suffix_to_string]
+   and the unused-constructor warning make conformance a compiler
+   guarantee; what remains for the static (dynlint D8) and runtime
+   (test_conformance) checks is this one string boundary, which is why the
+   [[@@dynlint.tag_universe]] attribute rides the renderer. *)
+type suffix =
+  | Agent_down
+  | Agent_reject
+  | Agent_release
+  | Agent_return
+  | Agent_unlock
+  | Agent_up
+  | Reject_wave
+
+let suffix_to_string = function
+  | Agent_down -> "agent-down"
+  | Agent_reject -> "agent-reject"
+  | Agent_release -> "agent-release"
+  | Agent_return -> "agent-return"
+  | Agent_unlock -> "agent-unlock"
+  | Agent_up -> "agent-up"
+  | Reject_wave -> "reject-wave"
+[@@dynlint.tag_universe]
+
+(* Dense index for the per-controller [Tag.id] array; must enumerate in
+   [all_suffixes] order. *)
+let suffix_index = function
+  | Agent_down -> 0
+  | Agent_reject -> 1
+  | Agent_release -> 2
+  | Agent_return -> 3
+  | Agent_unlock -> 4
+  | Agent_up -> 5
+  | Reject_wave -> 6
+
+let all_suffixes =
+  [
+    Agent_down;
+    Agent_reject;
+    Agent_release;
+    Agent_return;
+    Agent_unlock;
+    Agent_up;
+    Reject_wave;
+  ]
+
+let tag_suffixes = List.map suffix_to_string all_suffixes
+
 (* Per-node whiteboard (Section 4.3.1): package counts per level, the merged
    static permit count, the reject flag, the lock, the lock owner's
    down-pointer, and the FIFO queue of waiting agents. *)
@@ -25,6 +73,11 @@ type wb = {
   queue : agent Queue.t;
 }
 
+(* The per-hop continuations ([k_up] .. [k_release]) are allocated once at
+   agent creation and reused for every hop of the walk: an agent has at
+   most one message in flight, so the one closure per direction suffices —
+   the per-send closure allocation the hot path used to pay is gone.
+   [pending_from] carries the climb origin from [climb_up] to [k_up]. *)
 and agent = {
   aid : int;
   op : Workload.op;
@@ -35,6 +88,13 @@ and agent = {
   mutable top : int;  (* taxi counter: topmost distance reached *)
   mutable bag : int;  (* level of the carried package; -1 = none *)
   mutable came_from : Dtree.node;  (* child we climbed from; -1 at origin *)
+  mutable pending_from : Dtree.node;
+  mutable k_up : Dtree.node -> unit;
+  mutable k_down : Dtree.node -> unit;
+  mutable k_return : Dtree.node -> unit;
+  mutable k_unlock : Dtree.node -> unit;
+  mutable k_reject : Dtree.node -> unit;
+  mutable k_release : Dtree.node -> unit;
 }
 
 type t = {
@@ -42,8 +102,11 @@ type t = {
   net : Net.t;
   config : config;
   wbs : (Dtree.node, wb) Hashtbl.t;
-  tags : (string, string) Hashtbl.t;
-    (* suffix -> "<name>-<suffix>", precomputed so [tag] allocates nothing *)
+  tag_ids : Tag.id array;
+    (* indexed by [suffix_index]; interned once at [create] so a send is
+       an array read, no string join or hash per message *)
+  mutable k_flood : Dtree.node -> unit;
+    (* the reject-wave delivery continuation, allocated once per controller *)
   mutable storage : int;
   mutable granted : int;
   mutable rejected : int;
@@ -55,41 +118,6 @@ type t = {
 }
 
 let tree t = Net.tree t.net
-
-(* Every message-tag suffix this controller can put on the wire — the one
-   declared tag universe the static (dynlint D8) and runtime
-   (test_conformance) protocol-conformance checks both compare against.
-   The attribute is what D8 keys on; keep the list literal-only. *)
-let tag_suffixes =
-  [
-    "agent-down";
-    "agent-reject";
-    "agent-release";
-    "agent-return";
-    "agent-unlock";
-    "agent-up";
-    "reject-wave";
-  ]
-[@@dynlint.tag_universe]
-
-let create ?(config = default_config) ~params ~net () =
-  let tags = Hashtbl.create 16 in
-  List.iter (fun s -> Hashtbl.replace tags s (config.name ^ "-" ^ s)) tag_suffixes;
-  {
-    params;
-    net;
-    config;
-    wbs = Hashtbl.create 64;
-    tags;
-    storage = params.Params.m;
-    granted = 0;
-    rejected = 0;
-    outstanding = 0;
-    wave = false;
-    next_aid = 0;
-    nmax = Dtree.size (Net.tree net);
-    wb_bits_max = 0;
-  }
 
 let fresh_wb t =
   {
@@ -138,13 +166,7 @@ let agent_bits t =
 
 let reject_bits t = log_n t
 
-let tag t suffix =
-  (* the table covers [tag_suffixes]; a send was allocating a fresh joined
-     string per message before this was precomputed at [create] *)
-  match Hashtbl.find t.tags suffix with
-  | joined -> joined
-  | exception Not_found -> t.config.name ^ "-" ^ suffix
-
+let tag t s = t.tag_ids.(suffix_index s)
 let tag_universe ~name = List.map (fun s -> name ^ "-" ^ s) tag_suffixes
 let tags t = tag_universe ~name:t.config.name
 
@@ -166,16 +188,10 @@ let is_topological = function
 (* ------------------------------------------------------------------ *)
 (* Reject wave                                                         *)
 
-let rec flood_reject t v =
+let flood_reject t v =
   Dtree.iter_children (tree t) v ~f:(fun c ->
-      Net.send t.net ~src:v ~addr:(Net.Exact c) ~tag:(tag t "reject-wave")
-        ~bits:(reject_bits t) (fun c' ->
-          let b = wb t c' in
-          if not b.reject then begin
-            b.reject <- true;
-            touch_mem t c';
-            flood_reject t c'
-          end))
+      Net.send_to t.net ~src:v ~dst:c ~tag:(tag t Reject_wave)
+        ~bits:(reject_bits t) t.k_flood)
 
 let start_wave t r =
   if not t.wave then begin
@@ -240,30 +256,31 @@ let note_applied t info =
       if had_reject then
         List.iter
           (fun c ->
-            Net.send t.net ~src:parent ~addr:(Net.Exact c) ~tag:(tag t "reject-wave")
-              ~bits:(reject_bits t) (fun c' ->
-                let b = wb t c' in
-                if not b.reject then begin
-                  b.reject <- true;
-                  touch_mem t c';
-                  flood_reject t c'
-                end))
+            Net.send_to t.net ~src:parent ~dst:c ~tag:(tag t Reject_wave)
+              ~bits:(reject_bits t) t.k_flood)
           children
 
 (* Retry until the graceful conditions hold, then apply the change to the
-   shared tree and this controller's whiteboards. *)
-let rec try_apply t op k =
-  if can_apply t op then begin
-    let info = Workload.apply_info (tree t) op in
-    (match info with
-    | Workload.Leaf_removed { node; parent } | Workload.Internal_removed { node; parent; _ }
-      ->
-        Net.node_deleted t.net node ~parent
-    | Workload.Leaf_added _ | Workload.Internal_added _ | Workload.Event_occurred _ -> ());
-    note_applied t info;
-    k ()
-  end
-  else Net.schedule t.net ~delay:2 (fun () -> try_apply t op k)
+   shared tree and this controller's whiteboards. One [attempt] closure
+   serves every retry of the op: a blocked change polls every 2 ticks, and
+   a fresh closure per poll was the dominant allocation on lock-heavy
+   shapes (deep paths). *)
+let try_apply t op k =
+  let rec attempt () =
+    if can_apply t op then begin
+      let info = Workload.apply_info (tree t) op in
+      (match info with
+      | Workload.Leaf_removed { node; parent }
+      | Workload.Internal_removed { node; parent; _ } ->
+          Net.node_deleted t.net node ~parent
+      | Workload.Leaf_added _ | Workload.Internal_added _ | Workload.Event_occurred _ ->
+          ());
+      note_applied t info;
+      k ()
+    end
+    else Net.schedule t.net ~delay:2 attempt
+  in
+  attempt ()
 
 (* ------------------------------------------------------------------ *)
 (* The request agent                                                   *)
@@ -348,17 +365,13 @@ and enter_origin t a u =
       touch_mem t u;
       distribute t a u
     end
-    else if Dtree.parent (tree t) u = None then at_root t a u
+    else if Dtree.parent_id (tree t) u < 0 then at_root t a u
     else climb_up t a u
   end
 
 and climb_up t a from =
-  Net.send t.net ~src:from ~addr:(Net.Parent_of from) ~tag:(tag t "agent-up")
-    ~bits:(agent_bits t) (fun w ->
-      a.came_from <- from;
-      a.distance <- a.distance + 1;
-      a.top <- max a.top a.distance;
-      arrive t a w)
+  a.pending_from <- from;
+  Net.send_up t.net ~src:from ~tag:(tag t Agent_up) ~bits:(agent_bits t) a.k_up
 
 (* Arrival at a node while climbing (item 3); also used on dequeue. *)
 and arrive t a w =
@@ -371,21 +384,16 @@ and arrive t a w =
   else begin
     b.locked <- true;
     b.down_child <- a.came_from;
-    let found =
-      match Params.filler_level_at t.params a.distance with
-      | Some j when b.mobiles.(j) > 0 ->
-          b.mobiles.(j) <- b.mobiles.(j) - 1;
-          touch_mem t w;
-          Some j
-      | Some _ | None -> None
-    in
-    match found with
-    | Some j ->
-        a.bag <- j;
-        a.top <- max a.top a.distance;
-        distribute t a w
-    | None ->
-        if Dtree.parent (tree t) w = None then at_root t a w else climb_up t a w
+    let j = Params.filler_level_index t.params a.distance in
+    if j >= 0 && b.mobiles.(j) > 0 then begin
+      b.mobiles.(j) <- b.mobiles.(j) - 1;
+      touch_mem t w;
+      a.bag <- j;
+      a.top <- max a.top a.distance;
+      distribute t a w
+    end
+    else if Dtree.parent_id (tree t) w < 0 then at_root t a w
+    else climb_up t a w
   end
 
 (* item 3c: the agent reached the root and the root is not a filler. *)
@@ -430,33 +438,14 @@ and distribute t a w =
   else begin
     let next = (wb t w).down_child in
     assert (next >= 0);
-    Net.send t.net ~src:w ~addr:(Net.Exact next) ~tag:(tag t "agent-down")
-      ~bits:(agent_bits t) (fun x ->
-        a.distance <- a.distance - 1;
-        t.config.on_permits_down ~node:x
-          ~size:(Params.mobile_size t.params (max 0 a.bag));
-        if a.bag >= 1 && a.distance = Params.landing_distance t.params (a.bag - 1)
-        then begin
-          let b = wb t x in
-          b.mobiles.(a.bag - 1) <- b.mobiles.(a.bag - 1) + 1;
-          emit t (Telemetry.Event.Package_split { ctrl = t.config.name; level = a.bag });
-          with_metrics t (fun m ->
-              Telemetry.Metrics.inc
-                (Telemetry.Metrics.counter m
-                   ~labels:[ ("level", string_of_int a.bag) ]
-                   "pkg_splits_total"));
-          a.bag <- a.bag - 1;
-          touch_mem t x
-        end;
-        distribute t a x)
+    Net.send_to t.net ~src:w ~dst:next ~tag:(tag t Agent_down)
+      ~bits:(agent_bits t) a.k_down
   end
 
 (* After the grant: climb back to the topmost node ever reached... *)
 and return_up t a u =
-  Net.send t.net ~src:u ~addr:(Net.Parent_of u) ~tag:(tag t "agent-return")
-    ~bits:(agent_bits t) (fun w ->
-      a.distance <- a.distance + 1;
-      if a.distance = a.top then unlock_walk t a ~at:w else return_up t a w)
+  Net.send_up t.net ~src:u ~tag:(tag t Agent_return) ~bits:(agent_bits t)
+    a.k_return
 
 (* ...then walk down unlocking every node (item 4, last step). *)
 and unlock_walk t a ~at =
@@ -464,10 +453,8 @@ and unlock_walk t a ~at =
   unlock t at;
   if a.distance = 0 then conclude_grant t a
   else
-    Net.send t.net ~src:at ~addr:(Net.Exact next) ~tag:(tag t "agent-unlock")
-      ~bits:(agent_bits t) (fun x ->
-        a.distance <- a.distance - 1;
-        unlock_walk t a ~at:x)
+    Net.send_to t.net ~src:at ~dst:next ~tag:(tag t Agent_unlock)
+      ~bits:(agent_bits t) a.k_unlock
 
 (* item 1b: walk home placing a reject package at every intermediate node,
    unlocking our locked path as we go. *)
@@ -481,10 +468,8 @@ and reject_walk t a ~at ~locked_by_me =
   if locked_by_me then unlock t at;
   if a.distance = 0 then finish t a Types.Rejected
   else
-    Net.send t.net ~src:at ~addr:(Net.Exact next) ~tag:(tag t "agent-reject")
-      ~bits:(agent_bits t) (fun x ->
-        a.distance <- a.distance - 1;
-        reject_walk t a ~at:x ~locked_by_me:true)
+    Net.send_to t.net ~src:at ~dst:next ~tag:(tag t Agent_reject)
+      ~bits:(agent_bits t) a.k_reject
 
 (* `Hold` exhaustion: release every lock, answer nothing (Observation 2.1:
    the request is queued by the orchestrating layer). *)
@@ -493,15 +478,93 @@ and release_walk t a ~at =
   unlock t at;
   if a.distance = 0 then finish t a Types.Exhausted
   else
-    Net.send t.net ~src:at ~addr:(Net.Exact next) ~tag:(tag t "agent-release")
-      ~bits:(agent_bits t) (fun x ->
-        a.distance <- a.distance - 1;
-        release_walk t a ~at:x)
+    Net.send_to t.net ~src:at ~dst:next ~tag:(tag t Agent_release)
+      ~bits:(agent_bits t) a.k_release
 
 and conclude_grant t a =
   if t.config.auto_apply && is_topological a.op then
     try_apply t a.op (fun () -> finish t a Types.Granted)
   else finish t a Types.Granted
+
+(* Wire up the agent's reusable per-direction continuations (one closure
+   each for the whole walk; see the [agent] type comment). *)
+let init_agent_ks t a =
+  a.k_up <-
+    (fun w ->
+      a.came_from <- a.pending_from;
+      a.distance <- a.distance + 1;
+      if a.distance > a.top then a.top <- a.distance;
+      arrive t a w);
+  a.k_down <-
+    (fun x ->
+      a.distance <- a.distance - 1;
+      t.config.on_permits_down ~node:x
+        ~size:(Params.mobile_size t.params (max 0 a.bag));
+      if a.bag >= 1 && a.distance = Params.landing_distance t.params (a.bag - 1)
+      then begin
+        let b = wb t x in
+        b.mobiles.(a.bag - 1) <- b.mobiles.(a.bag - 1) + 1;
+        emit t (Telemetry.Event.Package_split { ctrl = t.config.name; level = a.bag });
+        with_metrics t (fun m ->
+            Telemetry.Metrics.inc
+              (Telemetry.Metrics.counter m
+                 ~labels:[ ("level", string_of_int a.bag) ]
+                 "pkg_splits_total"));
+        a.bag <- a.bag - 1;
+        touch_mem t x
+      end;
+      distribute t a x);
+  a.k_return <-
+    (fun w ->
+      a.distance <- a.distance + 1;
+      if a.distance = a.top then unlock_walk t a ~at:w else return_up t a w);
+  a.k_unlock <-
+    (fun x ->
+      a.distance <- a.distance - 1;
+      unlock_walk t a ~at:x);
+  a.k_reject <-
+    (fun x ->
+      a.distance <- a.distance - 1;
+      reject_walk t a ~at:x ~locked_by_me:true);
+  a.k_release <-
+    (fun x ->
+      a.distance <- a.distance - 1;
+      release_walk t a ~at:x)
+
+let create ?(config = default_config) ~params ~net () =
+  let tag_ids =
+    Array.of_list
+      (List.map
+         (fun s -> Net.intern_tag net (config.name ^ "-" ^ suffix_to_string s))
+         all_suffixes)
+  in
+  let t =
+    {
+      params;
+      net;
+      config;
+      wbs = Hashtbl.create 64;
+      tag_ids;
+      k_flood = ignore;
+      storage = params.Params.m;
+      granted = 0;
+      rejected = 0;
+      outstanding = 0;
+      wave = false;
+      next_aid = 0;
+      nmax = Dtree.size (Net.tree net);
+      wb_bits_max = 0;
+    }
+  in
+  t.k_flood <-
+    (fun c' ->
+      let b = wb t c' in
+      if not b.reject then begin
+        b.reject <- true;
+        touch_mem t c';
+        flood_reject t c'
+      end);
+  t
 
 let submit t op ~k =
   t.outstanding <- t.outstanding + 1;
@@ -519,8 +582,16 @@ let submit t op ~k =
           top = 0;
           bag = -1;
           came_from = -1;
+          pending_from = -1;
+          k_up = ignore;
+          k_down = ignore;
+          k_return = ignore;
+          k_unlock = ignore;
+          k_reject = ignore;
+          k_release = ignore;
         }
       in
+      init_agent_ks t a;
       t.next_aid <- t.next_aid + 1;
       enter_origin t a site)
 

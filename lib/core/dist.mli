@@ -51,12 +51,30 @@ val create : ?config:config -> params:Params.t -> net:Net.t -> unit -> t
     [pkg_splits_total{level}]) / [Package_static] / [Package_join] /
     [Reject_wave] events tagged with the controller's [config.name]. *)
 
+type suffix =
+  | Agent_down
+  | Agent_reject
+  | Agent_release
+  | Agent_return
+  | Agent_unlock
+  | Agent_up
+  | Reject_wave
+      (** The wire-tag universe as a variant: a send names a constructor,
+          so a tag outside the universe is a type error, and an unused
+          constructor is a compiler warning — conformance is a compiler
+          guarantee up to the one string boundary below. *)
+
+val suffix_to_string : suffix -> string
+(** The wire suffix of a constructor; the full tag is
+    [config.name ^ "-" ^ suffix_to_string s]. This renderer carries the
+    [[@@dynlint.tag_universe]] attribute: its match arms are the declared
+    tag universe that dynlint's D8 pass checks intern-boundary string
+    literals against, and that [test_conformance] compares
+    [Net.messages_by_tag] to at runtime. *)
+
 val tag_suffixes : string list
-(** Every message-tag suffix the agent protocol can emit, sorted; the wire
-    tag is [config.name ^ "-" ^ suffix]. This list (marked
-    [[@@dynlint.tag_universe]]) is the declared tag universe that dynlint's
-    D8 pass checks every [Net.send ~tag:] literal against, and that
-    [test_conformance] compares [Net.messages_by_tag] to at runtime. *)
+(** [suffix_to_string] of every constructor, sorted — the string view of
+    the universe for reporting and runtime conformance checks. *)
 
 val tag_universe : name:string -> string list
 (** The full wire tags of a controller whose [config.name] is [name]. *)

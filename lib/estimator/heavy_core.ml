@@ -1,13 +1,19 @@
 (* The heavy-pointer maintenance of Theorem 5.4, shared by the centralized
    and distributed subtree estimators. The estimator drives it through three
    handlers ([on_change], [on_epoch], [on_applied]); it reads estimates back
-   through a closure installed once both sides exist. *)
+   through a closure installed once both sides exist.
+
+   Per-node state is dense, indexed by the arena node id ([Dtree.node]s are
+   small ints bounded by [ever_created]): [mu] is a flat int array and the
+   per-parent report maps hang off an option array — the per-report hot
+   path touches no outer hash and boxes nothing. Arrays grow on demand as
+   the arena does. *)
 
 type t = {
   tree : Dtree.t;
-  reports : (Dtree.node, (Dtree.node, int) Hashtbl.t) Hashtbl.t;
+  mutable reports : (Dtree.node, int) Hashtbl.t option array;
       (* parent -> child -> last reported estimate *)
-  mu : (Dtree.node, Dtree.node) Hashtbl.t;
+  mutable mu : int array;  (* node -> heaviest child; -1 = none *)
   mutable report_messages : int;
   mutable estimate : (Dtree.node -> int) option;
 }
@@ -15,11 +21,22 @@ type t = {
 let create ~tree () =
   {
     tree;
-    reports = Hashtbl.create 64;
-    mu = Hashtbl.create 64;
+    reports = Array.make 64 None;
+    mu = Array.make 64 (-1);
     report_messages = 0;
     estimate = None;
   }
+
+let ensure t v =
+  if v >= Array.length t.mu then begin
+    let cap = max 64 (max (2 * Array.length t.mu) (v + 1)) in
+    let mu = Array.make cap (-1) in
+    Array.blit t.mu 0 mu 0 (Array.length t.mu);
+    t.mu <- mu;
+    let reports = Array.make cap None in
+    Array.blit t.reports 0 reports 0 (Array.length t.reports);
+    t.reports <- reports
+  end
 
 let set_estimate t f = t.estimate <- Some f
 
@@ -27,73 +44,81 @@ let estimate t v =
   match t.estimate with Some f -> f v | None -> invalid_arg "Heavy_core: no estimator wired"
 
 let reports_of t v =
-  match Hashtbl.find_opt t.reports v with
+  ensure t v;
+  match t.reports.(v) with
   | Some h -> h
   | None ->
       let h = Hashtbl.create 4 in
-      Hashtbl.replace t.reports v h;
+      t.reports.(v) <- Some h;
       h
+
+let mu_of t v = if v < Array.length t.mu then t.mu.(v) else -1
 
 let recompute_mu t v =
   let h = reports_of t v in
-  let best =
-    Hashtbl.fold
-      (fun c e acc -> match acc with Some (_, e') when e' >= e -> acc | _ -> Some (c, e))
-      h None
-  in
-  match best with
-  | Some (c, _) -> Hashtbl.replace t.mu v c
-  | None -> Hashtbl.remove t.mu v
+  let best_c = ref (-1) and best_e = ref min_int in
+  Hashtbl.iter
+    (fun c e ->
+      if !best_c < 0 || e > !best_e then begin
+        best_c := c;
+        best_e := e
+      end)
+    h;
+  t.mu.(v) <- !best_c
 
 (* A child reports a (grown) estimate to its parent; pointers only move to
    strictly heavier children. *)
 let report t child value =
-  match Dtree.parent t.tree child with
-  | None -> ()
-  | Some p ->
-      t.report_messages <- t.report_messages + 1;
-      let h = reports_of t p in
-      Hashtbl.replace h child value;
-      (match Hashtbl.find_opt t.mu p with
-      | None -> Hashtbl.replace t.mu p child
-      | Some current -> (
-          match Hashtbl.find_opt h current with
-          | Some cur_val when cur_val >= value -> ()
-          | _ -> Hashtbl.replace t.mu p child))
+  let p = Dtree.parent_id t.tree child in
+  if p >= 0 then begin
+    t.report_messages <- t.report_messages + 1;
+    let h = reports_of t p in
+    Hashtbl.replace h child value;
+    let current = t.mu.(p) in
+    if current < 0 then t.mu.(p) <- child
+    else
+      match Hashtbl.find h current with
+      | cur_val -> if cur_val < value then t.mu.(p) <- child
+      | exception Not_found -> t.mu.(p) <- child
+  end
 
 let on_change t v = if Dtree.live t.tree v then report t v (estimate t v)
 
 let on_epoch t =
-  Hashtbl.reset t.reports;
-  Hashtbl.reset t.mu;
+  Array.fill t.reports 0 (Array.length t.reports) None;
+  Array.fill t.mu 0 (Array.length t.mu) (-1);
   if t.estimate <> None then begin
     t.report_messages <- t.report_messages + Dtree.size t.tree;
     Dtree.iter_nodes t.tree ~f:(fun v ->
-        match Dtree.parent t.tree v with
-        | None -> ()
-        | Some p -> Hashtbl.replace (reports_of t p) v (estimate t v));
-    Hashtbl.iter (fun v _ -> recompute_mu t v) t.reports
+        let p = Dtree.parent_id t.tree v in
+        if p >= 0 then Hashtbl.replace (reports_of t p) v (estimate t v));
+    Array.iteri
+      (fun v h -> match h with Some _ -> recompute_mu t v | None -> ())
+      t.reports
   end
 
 let on_applied t info =
   match info with
   | Workload.Leaf_added { leaf; _ } -> report t leaf (estimate t leaf)
   | Workload.Internal_added { below; fresh } ->
-      let p = match Dtree.parent t.tree fresh with Some p -> p | None -> assert false in  (* dynlint: allow unsafe -- fresh was spliced above below, so it has a parent *)
+      let p = Dtree.parent_id t.tree fresh in
+      assert (p >= 0);  (* fresh was spliced above below, so it has a parent *)
       let hp = reports_of t p in
       Hashtbl.remove hp below;
-      if Hashtbl.find_opt t.mu p = Some below then Hashtbl.remove t.mu p;
+      if mu_of t p = below then t.mu.(p) <- -1;
       t.report_messages <- t.report_messages + 1;
       Hashtbl.replace hp fresh (estimate t fresh);
       recompute_mu t p;
       t.report_messages <- t.report_messages + 1;
       Hashtbl.replace (reports_of t fresh) below (estimate t below);
-      Hashtbl.replace t.mu fresh below
+      ensure t fresh;
+      t.mu.(fresh) <- below
   | Workload.Leaf_removed { node; parent } ->
       Hashtbl.remove (reports_of t parent) node;
-      Hashtbl.remove t.reports node;
-      if Hashtbl.find_opt t.mu parent = Some node then recompute_mu t parent;
-      Hashtbl.remove t.mu node
+      ensure t node;
+      t.reports.(node) <- None;
+      if mu_of t parent = node then recompute_mu t parent;
+      t.mu.(node) <- -1
   | Workload.Internal_removed { node; parent; children } ->
       let hp = reports_of t parent in
       Hashtbl.remove hp node;
@@ -102,20 +127,21 @@ let on_applied t info =
           t.report_messages <- t.report_messages + 1;
           Hashtbl.replace hp c (estimate t c))
         children;
-      Hashtbl.remove t.reports node;
-      Hashtbl.remove t.mu node;
+      ensure t node;
+      t.reports.(node) <- None;
+      t.mu.(node) <- -1;
       recompute_mu t parent
   | Workload.Event_occurred _ -> ()
 
-let heavy t v = Hashtbl.find_opt t.mu v
+let heavy t v = match mu_of t v with -1 -> None | c -> Some c
 
 let light_ancestors t v =
   let rec go v acc =
-    match Dtree.parent t.tree v with
-    | None -> acc
-    | Some p ->
-        let light = Hashtbl.find_opt t.mu p <> Some v in
-        go p (if light then acc + 1 else acc)
+    let p = Dtree.parent_id t.tree v in
+    if p < 0 then acc
+    else
+      let light = mu_of t p <> v in
+      go p (if light then acc + 1 else acc)
   in
   go v 0
 

@@ -2,21 +2,38 @@ module Central = Controller.Central
 module Params = Controller.Params
 module Terminating = Controller.Terminating
 
+(* Per-node counters are dense int arrays indexed by the arena node id
+   (bounded by [Dtree.ever_created], grown on demand): [estimate] — the
+   innermost read of the permit-observation hot loop — is two array reads,
+   no hashing and no [Some] box per lookup. *)
 type t = {
   tree : Dtree.t;
   beta : float;
   on_change : Dtree.node -> unit;
   on_epoch : unit -> unit;
   on_applied : Workload.applied -> unit;
-  omega0 : (Dtree.node, int) Hashtbl.t;
-  s : (Dtree.node, int) Hashtbl.t;  (* permits seen passing down via v *)
-  sw : (Dtree.node, int) Hashtbl.t;  (* ground truth, analysis only *)
+  mutable omega0 : int array;
+  mutable s : int array;  (* permits seen passing down via v *)
+  mutable sw : int array;  (* ground truth, analysis only *)
   mutable ctrl : Terminating.t option;
   mutable epochs : int;
   mutable done_moves : int;
 }
 
-let get tbl v = Option.value ~default:0 (Hashtbl.find_opt tbl v)
+let get a v = if v < Array.length a then a.(v) else 0
+
+let ensure t v =
+  if v >= Array.length t.omega0 then begin
+    let cap = max 64 (max (2 * Array.length t.omega0) (v + 1)) in
+    let grow a =
+      let bigger = Array.make cap 0 in
+      Array.blit a 0 bigger 0 (Array.length a);
+      bigger
+    in
+    t.omega0 <- grow t.omega0;
+    t.s <- grow t.s;
+    t.sw <- grow t.sw
+  end
 
 (* The permits of a package moving from [from_dist] to [to_dist] above the
    requester enter every node strictly below the source; a package leaving
@@ -29,33 +46,50 @@ let observe_package t ~requester ~from_dist ~to_dist ~size =
     | Some v when v = Dtree.root t.tree -> from_dist
     | Some _ | None -> from_dist - 1
   in
-  for d = to_dist to top do
-    match Dtree.ancestor_at t.tree requester d with
-    | Some v ->
-        Hashtbl.replace t.s v (get t.s v + size);
-        t.on_change v
-    | None -> assert false  (* dynlint: allow unsafe -- d <= depth of requester, so the ancestor exists *)
-  done
+  if to_dist <= top then begin
+    (* one climb from the [to_dist] ancestor instead of an O(d) ancestor
+       walk per distance: the loop body sees each node exactly once *)
+    match Dtree.ancestor_at t.tree requester to_dist with
+    | None -> assert false  (* dynlint: allow unsafe -- to_dist <= depth of requester, so the ancestor exists *)
+    | Some v0 ->
+        let v = ref v0 in
+        for d = to_dist to top do
+          let u = !v in
+          ensure t u;
+          t.s.(u) <- t.s.(u) + size;
+          t.on_change u;
+          if d < top then begin
+            let p = Dtree.parent_id t.tree u in
+            assert (p >= 0);  (* d < top <= depth, so an ancestor remains *)
+            v := p
+          end
+        done
+  end
 
 (* Ground-truth super-weights: a fresh node starts its own and increments
    every current ancestor's; deletions change nothing. *)
+let bump_ancestors t v =
+  (* [v] inclusive up to the root, allocation-free *)
+  let u = ref v in
+  while !u >= 0 do
+    ensure t !u;
+    t.sw.(!u) <- t.sw.(!u) + 1;
+    u := Dtree.parent_id t.tree !u
+  done
+
 let note_applied t info =
   match info with
   | Workload.Leaf_added { leaf; parent } ->
-      Hashtbl.replace t.sw leaf 1;
-      Hashtbl.replace t.omega0 leaf 1;
-      List.iter
-        (fun a -> Hashtbl.replace t.sw a (get t.sw a + 1))
-        (Dtree.ancestors t.tree parent)
+      ensure t leaf;
+      t.sw.(leaf) <- 1;
+      t.omega0.(leaf) <- 1;
+      bump_ancestors t parent
   | Workload.Internal_added { fresh; _ } ->
-      Hashtbl.replace t.sw fresh (Dtree.subtree_size t.tree fresh);
-      Hashtbl.replace t.omega0 fresh (Dtree.subtree_size t.tree fresh);
-      (match Dtree.parent t.tree fresh with
-      | Some p ->
-          List.iter
-            (fun a -> Hashtbl.replace t.sw a (get t.sw a + 1))
-            (Dtree.ancestors t.tree p)
-      | None -> ())
+      ensure t fresh;
+      t.sw.(fresh) <- Dtree.subtree_size t.tree fresh;
+      t.omega0.(fresh) <- Dtree.subtree_size t.tree fresh;
+      let p = Dtree.parent_id t.tree fresh in
+      if p >= 0 then bump_ancestors t p
   | Workload.Leaf_removed _ | Workload.Internal_removed _ | Workload.Event_occurred _ -> ()
 
 let make_ctrl t =
@@ -83,13 +117,14 @@ let make_ctrl t =
     ~tree:t.tree ()
 
 let start_epoch t =
-  Hashtbl.reset t.omega0;
-  Hashtbl.reset t.s;
-  Hashtbl.reset t.sw;
+  Array.fill t.omega0 0 (Array.length t.omega0) 0;
+  Array.fill t.s 0 (Array.length t.s) 0;
+  Array.fill t.sw 0 (Array.length t.sw) 0;
   let rec fill v =
     let s = Dtree.fold_children t.tree v ~init:1 ~f:(fun acc c -> acc + fill c) in
-    Hashtbl.replace t.omega0 v s;
-    Hashtbl.replace t.sw v s;
+    ensure t v;
+    t.omega0.(v) <- s;
+    t.sw.(v) <- s;
     s
   in
   ignore (fill (Dtree.root t.tree));
@@ -108,9 +143,9 @@ let create ?(beta = sqrt 3.0) ?(on_change = fun _ -> ()) ?(on_epoch = fun () -> 
       on_change;
       on_epoch;
       on_applied;
-      omega0 = Hashtbl.create 64;
-      s = Hashtbl.create 64;
-      sw = Hashtbl.create 64;
+      omega0 = Array.make 64 0;
+      s = Array.make 64 0;
+      sw = Array.make 64 0;
       ctrl = None;
       epochs = 0;
       done_moves = 0;

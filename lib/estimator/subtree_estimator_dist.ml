@@ -7,15 +7,19 @@ let tag_universe = Dist.tag_universe ~name:protocol_name
 
 type request = { op : Workload.op; k : unit -> unit }
 
+(* Per-node counters are dense int arrays indexed by the arena node id,
+   mirroring the centralized estimator: the permit-observation callback and
+   [estimate] are bare array reads, no hashing and no [Some] box per
+   message delivered. *)
 type t = {
   net : Net.t;
   beta : float;
   on_change : Dtree.node -> unit;
   on_epoch : unit -> unit;
   on_applied : Workload.applied -> unit;
-  omega0 : (Dtree.node, int) Hashtbl.t;
-  s : (Dtree.node, int) Hashtbl.t;
-  sw : (Dtree.node, int) Hashtbl.t;  (* ground truth, analysis only *)
+  mutable omega0 : int array;
+  mutable s : int array;
+  mutable sw : int array;  (* ground truth, analysis only *)
   mutable ctrl : Dist.t option;
   mutable epochs : int;
   mutable rotating : bool;
@@ -25,11 +29,25 @@ type t = {
 }
 
 let tree t = Net.tree t.net
-let get tbl v = Option.value ~default:0 (Hashtbl.find_opt tbl v)
+let get a v = if v < Array.length a then a.(v) else 0
+
+let ensure t v =
+  if v >= Array.length t.omega0 then begin
+    let cap = max 64 (max (2 * Array.length t.omega0) (v + 1)) in
+    let grow a =
+      let bigger = Array.make cap 0 in
+      Array.blit a 0 bigger 0 (Array.length a);
+      bigger
+    in
+    t.omega0 <- grow t.omega0;
+    t.s <- grow t.s;
+    t.sw <- grow t.sw
+  end
 
 let observe t ~node ~size =
   if Dtree.live (tree t) node then begin
-    Hashtbl.replace t.s node (get t.s node + size);
+    ensure t node;
+    t.s.(node) <- t.s.(node) + size;
     t.on_change node
   end
 
@@ -50,13 +68,14 @@ let make_ctrl t =
     ~net:t.net ()
 
 let start_epoch t =
-  Hashtbl.reset t.omega0;
-  Hashtbl.reset t.s;
-  Hashtbl.reset t.sw;
+  Array.fill t.omega0 0 (Array.length t.omega0) 0;
+  Array.fill t.s 0 (Array.length t.s) 0;
+  Array.fill t.sw 0 (Array.length t.sw) 0;
   let rec fill v =
     let s = Dtree.fold_children (tree t) v ~init:1 ~f:(fun acc c -> acc + fill c) in
-    Hashtbl.replace t.omega0 v s;
-    Hashtbl.replace t.sw v s;
+    ensure t v;
+    t.omega0.(v) <- s;
+    t.sw.(v) <- s;
     s
   in
   ignore (fill (Dtree.root (tree t)));
@@ -75,9 +94,9 @@ let create ?(beta = sqrt 3.0) ?(on_change = fun _ -> ()) ?(on_epoch = fun () -> 
       on_change;
       on_epoch;
       on_applied;
-      omega0 = Hashtbl.create 64;
-      s = Hashtbl.create 64;
-      sw = Hashtbl.create 64;
+      omega0 = Array.make 64 0;
+      s = Array.make 64 0;
+      sw = Array.make 64 0;
       ctrl = None;
       epochs = 0;
       rotating = false;
@@ -91,23 +110,29 @@ let create ?(beta = sqrt 3.0) ?(on_change = fun _ -> ()) ?(on_epoch = fun () -> 
 
 let ctrl_exn t = match t.ctrl with Some c -> c | None -> assert false  (* dynlint: allow unsafe -- attach installs the controller before any use *)
 
+(* [v] inclusive up to the root, allocation-free: the ancestor-list walk
+   this replaces built an O(depth) list per applied change. *)
+let bump_ancestors t v =
+  let u = ref v in
+  while !u >= 0 do
+    ensure t !u;
+    t.sw.(!u) <- t.sw.(!u) + 1;
+    u := Dtree.parent_id (tree t) !u
+  done
+
 let note_applied t info =
   match info with
   | Workload.Leaf_added { leaf; parent } ->
-      Hashtbl.replace t.sw leaf 1;
-      Hashtbl.replace t.omega0 leaf 1;
-      List.iter
-        (fun a -> Hashtbl.replace t.sw a (get t.sw a + 1))
-        (Dtree.ancestors (tree t) parent)
+      ensure t leaf;
+      t.sw.(leaf) <- 1;
+      t.omega0.(leaf) <- 1;
+      bump_ancestors t parent
   | Workload.Internal_added { fresh; _ } ->
-      Hashtbl.replace t.sw fresh (Dtree.subtree_size (tree t) fresh);
-      Hashtbl.replace t.omega0 fresh (Dtree.subtree_size (tree t) fresh);
-      (match Dtree.parent (tree t) fresh with
-      | Some p ->
-          List.iter
-            (fun a -> Hashtbl.replace t.sw a (get t.sw a + 1))
-            (Dtree.ancestors (tree t) p)
-      | None -> ())
+      ensure t fresh;
+      t.sw.(fresh) <- Dtree.subtree_size (tree t) fresh;
+      t.omega0.(fresh) <- Dtree.subtree_size (tree t) fresh;
+      let p = Dtree.parent_id (tree t) fresh in
+      if p >= 0 then bump_ancestors t p
   | Workload.Leaf_removed _ | Workload.Internal_removed _ | Workload.Event_occurred _ -> ()
 
 let rec apply_change t r =

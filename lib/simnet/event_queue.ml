@@ -1,74 +1,120 @@
-type 'a entry = { time : int; prio : int; seq : int; payload : 'a }
-
-(* Slots hold [Some entry]; empty slots are [None] so popped entries (and the
-   closures they capture) are dropped as soon as they leave the heap. The
-   [Some] box is allocated once per [add] and merely moved by sifts. *)
+(* Struct-of-arrays heap: slot [i] of the four parallel arrays is one
+   entry. Sifts swap slots element-wise; nothing is boxed per entry, so a
+   steady-state add/pop cycle allocates nothing. Popped payload slots are
+   overwritten with [dummy] so delivered payloads are dropped as soon as
+   they leave the heap. *)
 type 'a t = {
-  mutable heap : 'a entry option array;
+  mutable times : int array;
+  mutable prios : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
+  dummy : 'a;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create ~dummy =
+  {
+    times = [||];
+    prios = [||];
+    seqs = [||];
+    payloads = [||];
+    dummy;
+    size = 0;
+    next_seq = 0;
+  }
 
-let before a b =
-  a.time < b.time
-  || (a.time = b.time && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
+let before t i j =
+  let ti = t.times.(i) and tj = t.times.(j) in
+  ti < tj
+  || ti = tj
+     &&
+     let pi = t.prios.(i) and pj = t.prios.(j) in
+     pi < pj || (pi = pj && t.seqs.(i) < t.seqs.(j))
 
-let get t i = match t.heap.(i) with Some e -> e | None -> assert false  (* dynlint: allow unsafe -- heap slots below the length are always populated *)
+let swap t i j =
+  let x = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- x;
+  let x = t.prios.(i) in
+  t.prios.(i) <- t.prios.(j);
+  t.prios.(j) <- x;
+  let x = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- x;
+  let x = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- x
 
 let grow t =
-  let cap = max 16 (2 * Array.length t.heap) in
-  if cap > Array.length t.heap then begin
-    let bigger = Array.make cap None in
-    Array.blit t.heap 0 bigger 0 t.size;
-    t.heap <- bigger
-  end
+  let cap = max 16 (2 * Array.length t.times) in
+  let grow_int a =
+    let bigger = Array.make cap 0 in
+    Array.blit a 0 bigger 0 t.size;
+    bigger
+  in
+  t.times <- grow_int t.times;
+  t.prios <- grow_int t.prios;
+  t.seqs <- grow_int t.seqs;
+  let bigger = Array.make cap t.dummy in
+  Array.blit t.payloads 0 bigger 0 t.size;
+  t.payloads <- bigger
 
 let add t ~time ?(priority = 0) payload =
-  let e = { time; prio = priority; seq = t.next_seq; payload } in
+  if t.size = Array.length t.times then grow t;
+  let i = t.size in
+  t.times.(i) <- time;
+  t.prios.(i) <- priority;
+  t.seqs.(i) <- t.next_seq;
+  t.payloads.(i) <- payload;
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- Some e;
-  t.size <- t.size + 1;
+  t.size <- i + 1;
   (* sift up *)
-  let i = ref (t.size - 1) in
-  while !i > 0 && before (get t !i) (get t ((!i - 1) / 2)) do
+  let i = ref i in
+  while !i > 0 && before t !i ((!i - 1) / 2) do
     let p = (!i - 1) / 2 in
-    let tmp = t.heap.(p) in
-    t.heap.(p) <- t.heap.(!i);
-    t.heap.(!i) <- tmp;
+    swap t !i p;
     i := p
   done
 
+let next_time t =
+  if t.size = 0 then invalid_arg "Event_queue.next_time: empty";
+  t.times.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_exn: empty";
+  let top = t.payloads.(0) in
+  t.size <- t.size - 1;
+  let last = t.size in
+  t.times.(0) <- t.times.(last);
+  t.prios.(0) <- t.prios.(last);
+  t.seqs.(0) <- t.seqs.(last);
+  t.payloads.(0) <- t.payloads.(last);
+  t.payloads.(last) <- t.dummy;
+  if last > 0 then begin
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && before t l !smallest then smallest := l;
+      if r < t.size && before t r !smallest then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap t !smallest !i;
+        i := !smallest
+      end
+    done
+  end;
+  top
+
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = get t 0 in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- None;
-    if t.size > 0 then begin
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && before (get t l) (get t !smallest) then smallest := l;
-        if r < t.size && before (get t r) (get t !smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = t.heap.(!smallest) in
-          t.heap.(!smallest) <- t.heap.(!i);
-          t.heap.(!i) <- tmp;
-          i := !smallest
-        end
-      done
-    end;
-    Some (top.time, top.payload)
-  end
+  else
+    let time = t.times.(0) in
+    Some (time, pop_exn t)
 
-let peek_time t = if t.size = 0 then None else Some (get t 0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 let is_empty t = t.size = 0
 let size t = t.size

@@ -2,34 +2,47 @@ type node = Dtree.node
 
 type addr = Exact of node | Parent_of of node
 
-type message = {
-  src : node;
-  maddr : addr;
-  tag : string;
-  link : Scheduler.link;  (* frozen at send time; reorder accounting key *)
-  sseq : int;  (* global send sequence number *)
-  ctx : Telemetry.Event.ctx;  (* the message's span; [Event.no_ctx] (a
-                                 shared constant) when running sink-less *)
-  k : node -> unit;
+(* One in-flight event. Cells are pooled: a popped cell is stripped of its
+   closure/ctx references and pushed onto a free list, so steady-state
+   sends reuse cells instead of minting them — together with the interned
+   tag/link ids and the struct-of-arrays event queue, a sink-less send and
+   its delivery allocate nothing. A cell doubles as a scheduled [Action]
+   ([c_is_action]) so the queue stays monomorphic. *)
+type cell = {
+  mutable c_src : node;
+  mutable c_exact : bool;  (* addressing mode: Exact vs Parent_of *)
+  mutable c_node : node;  (* Exact destination, or the Parent_of subject *)
+  mutable c_tag : int;  (* interned tag id *)
+  mutable c_link : Scheduler.link_id;  (* frozen at send time *)
+  mutable c_sseq : int;  (* global send sequence number *)
+  mutable c_ctx : Telemetry.Event.ctx;  (* the message's span; [Event.no_ctx]
+                                           (a shared constant) when sink-less *)
+  mutable c_k : node -> unit;
+  mutable c_act : unit -> unit;
+  mutable c_is_action : bool;
 }
 
-type event = Deliver of message | Action of (unit -> unit)
+let ignore_node (_ : node) = ()
+let ignore_unit () = ()
 
 type t = {
   the_tree : Dtree.t;
   rng : Rng.t;
   max_delay : int;
   sched : Scheduler.t;
-  events : event Event_queue.t;
+  events : cell Event_queue.t;
   forwards : (node, node) Hashtbl.t;  (* deleted node -> adopting parent *)
-  (* The per-tag/per-link tallies hold [int ref] cells so that the hot
-     found-path is a bare [incr] / [:=] — no [Some] box from [find_opt], no
-     bucket churn from [replace]. Together with the [sink = None] branches
-     below this keeps the no-telemetry send/deliver path allocation-free
-     beyond the message record itself. *)
-  by_tag : (string, int ref) Hashtbl.t;
-  link_last : (Scheduler.link, int ref) Hashtbl.t;  (* last delivered sseq *)
-  link_reorders : (Scheduler.link, int ref) Hashtbl.t;
+  tags : Tag.table;  (* this net's wire-tag intern table *)
+  (* Dense per-tag / per-link tallies, indexed by the interned ids: the hot
+     path is a bare array read-increment — no string join, no hashing, no
+     [Some] box. [link_last] starts at -1 ("nothing delivered yet"); the
+     arrays grow in step with the intern tables. *)
+  mutable by_tag : int array;
+  mutable link_last : int array;  (* link_id -> last delivered sseq *)
+  mutable link_reorders : int array;
+  dummy : cell;  (* fills empty queue slots and pool growth *)
+  mutable pool : cell array;  (* free list of released cells *)
+  mutable pool_n : int;
   sink : Telemetry.Sink.t option;
   mutable clock : int;
   mutable send_seq : int;
@@ -38,6 +51,20 @@ type t = {
   mutable bits_total : int;
   mutable bits_max : int;
 }
+
+let fresh_cell () =
+  {
+    c_src = -1;
+    c_exact = false;
+    c_node = -1;
+    c_tag = -1;
+    c_link = -1;
+    c_sseq = -1;
+    c_ctx = Telemetry.Event.no_ctx;
+    c_k = ignore_node;
+    c_act = ignore_unit;
+    c_is_action = false;
+  }
 
 let create ?(seed = 0x5EED) ?(max_delay = 8) ?scheduler ?sink ~tree () =
   if max_delay < 1 then invalid_arg "Net.create: max_delay must be >= 1";
@@ -60,11 +87,15 @@ let create ?(seed = 0x5EED) ?(max_delay = 8) ?scheduler ?sink ~tree () =
     rng = Rng.create ~seed;
     max_delay;
     sched = Scheduler.create discipline;
-    events = Event_queue.create ();
+    events = Event_queue.create ~dummy:(fresh_cell ());
     forwards = Hashtbl.create 32;
-    by_tag = Hashtbl.create 16;
-    link_last = Hashtbl.create 64;
-    link_reorders = Hashtbl.create 8;
+    tags = Tag.create ();
+    by_tag = Array.make 16 0;
+    link_last = Array.make 64 (-1);
+    link_reorders = Array.make 64 0;
+    dummy = fresh_cell ();
+    pool = [||];
+    pool_n = 0;
     sink;
     clock = 0;
     send_seq = 0;
@@ -78,13 +109,26 @@ let tree t = t.the_tree
 let sink t = t.sink
 let scheduler t = Scheduler.discipline t.sched
 
+let intern_tag t s =
+  let id = Tag.intern t.tags s in
+  let n = Tag.count t.tags in
+  if n > Array.length t.by_tag then begin
+    let bigger = Array.make (max 16 (2 * n)) 0 in
+    Array.blit t.by_tag 0 bigger 0 (Array.length t.by_tag);
+    t.by_tag <- bigger
+  end;
+  id
+
+let tag_name t id = Tag.to_string t.tags id
+
 (* Path compression: every node visited on the forwarding chain is pointed
    directly at the final adopter, so repeated resolutions stay O(1) even
-   after long internal-deletion sequences. *)
+   after long internal-deletion sequences. The exception form keeps the
+   common not-forwarded case box-free. *)
 let rec resolve t v =
-  match Hashtbl.find_opt t.forwards v with
-  | None -> v
-  | Some p ->
+  match Hashtbl.find t.forwards v with
+  | exception Not_found -> v
+  | p ->
       let r = resolve t p in
       if r <> p then Hashtbl.replace t.forwards v r;
       r
@@ -97,19 +141,47 @@ let forward_hops t v =
   in
   count v 0
 
-let tally tbl key =
-  match Hashtbl.find tbl key with
-  | r -> r
-  | exception Not_found ->
-      let r = ref 0 in
-      Hashtbl.add tbl key r;
-      r
+let ensure_link_capacity t =
+  let n = Scheduler.link_count t.sched in
+  if n > Array.length t.link_last then begin
+    let cap = max 64 (2 * n) in
+    let last = Array.make cap (-1) in
+    Array.blit t.link_last 0 last 0 (Array.length t.link_last);
+    t.link_last <- last;
+    let re = Array.make cap 0 in
+    Array.blit t.link_reorders 0 re 0 (Array.length t.link_reorders);
+    t.link_reorders <- re
+  end
 
-let send t ~src ~addr ~tag ~bits k =
+let acquire t =
+  if t.pool_n > 0 then begin
+    let n = t.pool_n - 1 in
+    t.pool_n <- n;
+    t.pool.(n)
+  end
+  else fresh_cell ()
+
+let release t c =
+  (* Drop the closure and span references so a pooled cell retains
+     nothing from the message it carried. *)
+  c.c_k <- ignore_node;
+  c.c_act <- ignore_unit;
+  c.c_ctx <- Telemetry.Event.no_ctx;
+  c.c_is_action <- false;
+  if t.pool_n = Array.length t.pool then begin
+    let bigger = Array.make (max 16 (2 * t.pool_n)) t.dummy in
+    Array.blit t.pool 0 bigger 0 t.pool_n;
+    t.pool <- bigger
+  end;
+  t.pool.(t.pool_n) <- c;
+  t.pool_n <- t.pool_n + 1
+
+let send_cell t ~src ~exact ~node ~tag ~bits k =
   t.message_count <- t.message_count + 1;
   t.bits_total <- t.bits_total + bits;
   if bits > t.bits_max then t.bits_max <- bits;
-  incr (tally t.by_tag tag);
+  let tag_i = (tag : Tag.id :> int) in
+  t.by_tag.(tag_i) <- t.by_tag.(tag_i) + 1;
   (* Mint the message's span: a fresh id, parented on the ambient span (the
      delivery continuation or scheduled action issuing this send) and
      inheriting its trace — or rooting a fresh trace when sent from outside
@@ -129,31 +201,50 @@ let send t ~src ~addr ~tag ~bits k =
   (match t.sink with
   | None -> ()
   | Some s ->
+      let tag_s = Tag.to_string t.tags tag in
       let m = Telemetry.Sink.metrics s in
       Telemetry.Metrics.inc (Telemetry.Metrics.counter m "net_messages_total");
       Telemetry.Metrics.add (Telemetry.Metrics.counter m "net_bits_total") bits;
       Telemetry.Metrics.inc
-        (Telemetry.Metrics.counter m ~labels:[ ("tag", tag) ] "net_tag_messages_total");
+        (Telemetry.Metrics.counter m ~labels:[ ("tag", tag_s) ]
+           "net_tag_messages_total");
       Telemetry.Metrics.observe (Telemetry.Metrics.histogram m "net_message_bits") bits;
       let eaddr =
-        match addr with
-        | Exact v -> Telemetry.Event.Exact v
-        | Parent_of v -> Telemetry.Event.Parent_of v
+        if exact then Telemetry.Event.Exact node else Telemetry.Event.Parent_of node
       in
       Telemetry.Sink.event ~ctx s ~time:t.clock
-        (Telemetry.Event.Send { src; addr = eaddr; tag; bits }));
+        (Telemetry.Event.Send { src; addr = eaddr; tag = tag_s; bits }));
   let link =
-    match addr with
-    | Exact d -> Scheduler.Direct (src, resolve t d)
-    | Parent_of v -> Scheduler.Up (resolve t v)
+    if exact then Scheduler.intern_direct t.sched ~src ~dst:(resolve t node)
+    else Scheduler.intern_up t.sched (resolve t node)
   in
+  ensure_link_capacity t;
   let sseq = t.send_seq in
   t.send_seq <- sseq + 1;
   let time, priority =
     Scheduler.decide t.sched ~rng:t.rng ~max_delay:t.max_delay ~now:t.clock ~link
   in
-  Event_queue.add t.events ~time ~priority
-    (Deliver { src; maddr = addr; tag; link; sseq; ctx; k })
+  let c = acquire t in
+  c.c_src <- src;
+  c.c_exact <- exact;
+  c.c_node <- node;
+  c.c_tag <- tag_i;
+  c.c_link <- link;
+  c.c_sseq <- sseq;
+  c.c_ctx <- ctx;
+  c.c_k <- k;
+  Event_queue.add t.events ~time ~priority c
+
+let send t ~src ~addr ~tag ~bits k =
+  match addr with
+  | Exact d -> send_cell t ~src ~exact:true ~node:d ~tag ~bits k
+  | Parent_of v -> send_cell t ~src ~exact:false ~node:v ~tag ~bits k
+
+let send_to t ~src ~dst ~tag ~bits k =
+  send_cell t ~src ~exact:true ~node:dst ~tag ~bits k
+
+let send_up t ~src ~tag ~bits k =
+  send_cell t ~src ~exact:false ~node:src ~tag ~bits k
 
 let schedule t ?(delay = 1) f =
   if delay < 0 then invalid_arg "Net.schedule: negative delay";
@@ -179,34 +270,49 @@ let schedule t ?(delay = 1) f =
           f ();
           Telemetry.Sink.set_ambient s ~trace:saved_trace ~span:saved_span
   in
-  Event_queue.add t.events ~time:(t.clock + delay) (Action f)
+  let c = acquire t in
+  c.c_is_action <- true;
+  c.c_act <- f;
+  Event_queue.add t.events ~time:(t.clock + delay) c
 
 let node_deleted t v ~parent =
   Hashtbl.replace t.forwards v parent;
   Scheduler.on_node_deleted t.sched ~deleted:v ~resolve:(resolve t)
 
-let deliver t { src; maddr; tag; link; sseq; ctx; k } =
+let deliver t c =
+  (* Copy the cell out and release it before running the continuation: the
+     continuation's own sends reuse the cell immediately. *)
+  let src = c.c_src in
+  let exact = c.c_exact in
+  let anode = c.c_node in
+  let tag_i = c.c_tag in
+  let link = c.c_link in
+  let sseq = c.c_sseq in
+  let ctx = c.c_ctx in
+  let k = c.c_k in
+  release t c;
   let target, forwarded =
-    match maddr with
-    | Exact v ->
-        let r = resolve t v in
-        (r, r <> v)
-    | Parent_of v -> (
-        let r = resolve t v in
-        let forwarded = r <> v in
-        match Dtree.parent t.the_tree r with
-        | Some p -> (p, forwarded)
-        | None -> (r, forwarded) (* the sender became the root: deliver locally *))
+    if exact then begin
+      let r = resolve t anode in
+      (r, r <> anode)
+    end
+    else begin
+      let r = resolve t anode in
+      let forwarded = r <> anode in
+      let p = Dtree.parent_id t.the_tree r in
+      if p >= 0 then (p, forwarded)
+      else (r, forwarded) (* the sender became the root: deliver locally *)
+    end
   in
   let reordered =
-    let last = tally t.link_last link in
-    if !last > sseq then begin
-      incr (tally t.link_reorders link);
+    let last = t.link_last.(link) in
+    if last > sseq then begin
+      t.link_reorders.(link) <- t.link_reorders.(link) + 1;
       t.reorder_count <- t.reorder_count + 1;
       true
     end
     else begin
-      last := sseq;
+      t.link_last.(link) <- sseq;
       false
     end
   in
@@ -219,7 +325,15 @@ let deliver t { src; maddr; tag; link; sseq; ctx; k } =
   | None -> k target
   | Some s ->
       Telemetry.Sink.event ~ctx s ~time:t.clock
-        (Telemetry.Event.Deliver { src; dst = target; tag; seq = sseq; forwarded; reordered });
+        (Telemetry.Event.Deliver
+           {
+             src;
+             dst = target;
+             tag = Tag.name_of_int t.tags tag_i;
+             seq = sseq;
+             forwarded;
+             reordered;
+           });
       let m = Telemetry.Sink.metrics s in
       if forwarded then
         Telemetry.Metrics.inc
@@ -234,26 +348,46 @@ let deliver t { src; maddr; tag; link; sseq; ctx; k } =
       Telemetry.Sink.set_ambient s ~trace:saved_trace ~span:saved_span
 
 let step t =
-  match Event_queue.pop t.events with
-  | None -> false
-  | Some (time, ev) ->
-      t.clock <- max t.clock time;
-      (match ev with Deliver m -> deliver t m | Action f -> f ());
-      true
+  if Event_queue.is_empty t.events then false
+  else begin
+    let time = Event_queue.next_time t.events in
+    let c = Event_queue.pop_exn t.events in
+    if time > t.clock then t.clock <- time;
+    if c.c_is_action then begin
+      let f = c.c_act in
+      release t c;
+      f ()
+    end
+    else deliver t c;
+    true
+  end
 
 let run t = while step t do () done
 let now t = t.clock
 let messages t = t.message_count
 let reorders t = t.reorder_count
 
+(* Reporting: decorate with the string key once, sort on it, strip —
+   [link_to_string]/[to_string] never run inside the comparator. *)
 let reorders_by_link t =
-  Hashtbl.fold (fun link n acc -> (link, !n) :: acc) t.link_reorders []
-  |> List.sort (fun (a, _) (b, _) ->
-         String.compare (Scheduler.link_to_string a) (Scheduler.link_to_string b))
+  let acc = ref [] in
+  let n = min (Scheduler.link_count t.sched) (Array.length t.link_reorders) in
+  for id = n - 1 downto 0 do
+    let count = t.link_reorders.(id) in
+    if count > 0 then begin
+      let l = Scheduler.link_of_id t.sched id in
+      acc := (Scheduler.link_to_string l, l, count) :: !acc
+    end
+  done;
+  List.sort (fun (ka, _, _) (kb, _, _) -> String.compare ka kb) !acc
+  |> List.map (fun (_, l, count) -> (l, count))
 
 let messages_by_tag t =
-  Hashtbl.fold (fun tag n acc -> (tag, !n) :: acc) t.by_tag []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let acc = ref [] in
+  Tag.iter t.tags ~f:(fun id s ->
+      let count = t.by_tag.((id :> int)) in
+      if count > 0 then acc := (s, count) :: !acc);
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
 let max_message_bits t = t.bits_max
 let total_bits t = t.bits_total

@@ -13,6 +13,16 @@
     actions ([schedule]) share the clock but are not messages and are not
     counted.
 
+    {b Wire tags.} Message tags are interned: a protocol renders each
+    constructor of its variant suffix type to a string once, registers it
+    with {!intern_tag} at creation, and sends with the returned {!Tag.id}.
+    Per-send tallying is a flat array increment on the id — no string is
+    joined, hashed or compared on the hot path — and strings reappear only
+    at the reporting boundary ({!messages_by_tag}, telemetry labels, both
+    rendered from the intern table). Interning is idempotent, so a protocol
+    recreated on the same network (epoch wrappers) accumulates into the
+    same counters.
+
     {b Delivery discipline.} When and in what order messages arrive is
     decided by a pluggable {!Scheduler}: the default, {!Scheduler.Fifo_link},
     draws per-message delays from a seeded RNG in [\[1, max_delay\]] but
@@ -21,10 +31,18 @@
     behaviour (not FIFO); {!Scheduler.Adversarial_lifo} and
     {!Scheduler.Bursty} are worst-case reordering and batching adversaries.
     Link identity is frozen at send time (destination resolved through the
-    deletion-forwarding chain) and survives later deletions, so the FIFO
-    guarantee spans [node_deleted] adoption. Every delivery is checked
-    against the per-link send order; violations feed the {!reorders}
-    counters, so a trace proves which model actually ran.
+    deletion-forwarding chain, the link interned to a dense id) and survives
+    later deletions, so the FIFO guarantee spans [node_deleted] adoption.
+    Every delivery is checked against the per-link send order; violations
+    feed the {!reorders} counters, so a trace proves which model actually
+    ran.
+
+    {b Allocation.} A sink-less send and its delivery allocate nothing in
+    steady state: tag and link state are dense int arrays, the event queue
+    is a struct-of-arrays heap, and the in-flight message cells are pooled
+    on a free list — a delivered cell is stripped and reused by the next
+    send. Only the protocol's own continuation closures remain with the
+    caller.
 
     {b Causality.} With a sink present, every send mints a span (see
     {!Telemetry.Event.ctx}): a fresh id, parented on the span whose delivery
@@ -80,11 +98,29 @@ val sink : t -> Telemetry.Sink.t option
 val scheduler : t -> Scheduler.discipline
 (** The delivery discipline this network runs under. *)
 
+val intern_tag : t -> string -> Tag.id
+(** Register one wire tag with this network and return its dense id.
+    Idempotent; protocols call it once per tag at creation and keep the
+    ids. Every id passed to the send functions must come from this
+    network's [intern_tag]. *)
+
+val tag_name : t -> Tag.id -> string
+(** The string behind an interned id (the reporting boundary). *)
+
 val send :
-  t -> src:node -> addr:addr -> tag:string -> bits:int -> (node -> unit) -> unit
+  t -> src:node -> addr:addr -> tag:Tag.id -> bits:int -> (node -> unit) -> unit
 (** Send one message; the continuation runs at delivery time with the
     resolved destination. [tag] buckets the message statistics; [bits] is the
-    message's size for the O(log N) accounting. *)
+    message's size for the O(log N) accounting. General-address form; hot
+    paths prefer {!send_to} / {!send_up}, which take no [addr] box. *)
+
+val send_to :
+  t -> src:node -> dst:node -> tag:Tag.id -> bits:int -> (node -> unit) -> unit
+(** [send] to [Exact dst], without constructing the address. *)
+
+val send_up : t -> src:node -> tag:Tag.id -> bits:int -> (node -> unit) -> unit
+(** [send] to [Parent_of src] — the sender's own upward link — without
+    constructing the address. *)
 
 val schedule : t -> ?delay:int -> (unit -> unit) -> unit
 (** A local (uncounted) action after [delay] (default 1) time units. *)
@@ -121,12 +157,15 @@ val reorders : t -> int
     whenever two messages share a link and window. *)
 
 val reorders_by_link : t -> (Scheduler.link * int) list
-(** Per-link reorder counts, sorted by link, omitting links with none. *)
+(** Per-link reorder counts, sorted by the link's rendered name, omitting
+    links with none. The sort key is precomputed per link, not rendered
+    inside the comparator. *)
 
 val messages_by_tag : t -> (string * int) list
-(** Per-tag message counts, {b sorted by tag} (lexicographically). The order
-    is guaranteed — telemetry snapshots and test expectations may rely on
-    it; it never depends on hash-table iteration order. *)
+(** Per-tag message counts, {b sorted by tag} (lexicographically), omitting
+    tags never sent. The order is guaranteed — telemetry snapshots and test
+    expectations may rely on it; it never depends on hash-table or intern
+    order. *)
 
 val max_message_bits : t -> int
 val total_bits : t -> int

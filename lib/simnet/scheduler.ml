@@ -5,10 +5,35 @@ type discipline =
   | Bursty of { period : int }
 
 type link = Direct of Dtree.node * Dtree.node | Up of Dtree.node
+type link_id = int
+
+(* Links are interned to dense ids so the per-send bookkeeping (FIFO state
+   here, reorder accounting in Net) is flat array indexing with no link
+   value allocated on the hot path. A link packs into one int — node ids
+   stay far below 2^31 ([Dtree.ever_created] bounds them) — and the packed
+   form keys an int hashtable whose found-path neither hashes a structured
+   value nor boxes. *)
+let pack_direct s d = (s lsl 32) lor (d lsl 1)
+let pack_up v = (v lsl 1) lor 1
+
+let unpack p =
+  if p land 1 = 1 then Up (p lsr 1)
+  else Direct (p lsr 32, (p lsr 1) land 0x7FFFFFFF)
 
 type t = {
   discipline : discipline;
-  fifo_last : (link, int) Hashtbl.t;  (* Fifo_link: last scheduled delivery *)
+  link_ids : (int, int) Hashtbl.t;  (* packed link -> dense id *)
+  mutable link_packs : int array;  (* id -> packed link *)
+  mutable link_n : int;
+  mutable fifo_last : int array;
+      (* Fifo_link: id -> last scheduled delivery; 0 = none (delivery
+         times are always >= 1) *)
+  by_dst : (int, int list) Hashtbl.t;
+      (* Fifo_link only: destination node -> ids of links pointing at it.
+         A node deletion must remap exactly the links aimed at the deleted
+         node; without this index that is a scan of every link ever
+         interned, and under churn the remaps themselves keep growing the
+         id space — quadratic in the deletion count. *)
   mutable lifo_rank : int;  (* Adversarial_lifo: strictly decreasing priority *)
 }
 
@@ -22,9 +47,53 @@ let create d =
   | Bursty { period } when period < 1 ->
       invalid_arg "Scheduler.create: period must be >= 1"
   | _ -> ());
-  { discipline = d; fifo_last = Hashtbl.create 64; lifo_rank = 0 }
+  {
+    discipline = d;
+    link_ids = Hashtbl.create 64;
+    link_packs = Array.make 64 0;
+    link_n = 0;
+    fifo_last = Array.make 64 0;
+    by_dst = Hashtbl.create 64;
+    lifo_rank = 0;
+  }
 
 let discipline t = t.discipline
+
+let intern_packed t p =
+  match Hashtbl.find t.link_ids p with
+  | id -> id
+  | exception Not_found ->
+      let id = t.link_n in
+      if id = Array.length t.link_packs then begin
+        let packs = Array.make (2 * id) 0 in
+        Array.blit t.link_packs 0 packs 0 id;
+        t.link_packs <- packs;
+        let last = Array.make (2 * id) 0 in
+        Array.blit t.fifo_last 0 last 0 id;
+        t.fifo_last <- last
+      end;
+      t.link_packs.(id) <- p;
+      t.link_n <- id + 1;
+      Hashtbl.add t.link_ids p id;
+      (match t.discipline with
+      | Fifo_link ->
+          let dst = if p land 1 = 1 then p lsr 1 else (p lsr 1) land 0x7FFFFFFF in
+          let prev =
+            match Hashtbl.find t.by_dst dst with
+            | ids -> ids
+            | exception Not_found -> []
+          in
+          Hashtbl.replace t.by_dst dst (id :: prev)
+      | Random_delay | Adversarial_lifo _ | Bursty _ -> ());
+      id
+
+let intern_direct t ~src ~dst = intern_packed t (pack_direct src dst)
+let intern_up t v = intern_packed t (pack_up v)
+let link_count t = t.link_n
+
+let link_of_id t id =
+  if id < 0 || id >= t.link_n then invalid_arg "Scheduler.link_of_id";
+  unpack t.link_packs.(id)
 
 let name = function
   | Fifo_link -> "fifo_link"
@@ -79,12 +148,9 @@ let decide t ~rng ~max_delay ~now ~link =
   | Random_delay -> (now + 1 + Rng.int rng max_delay, 0)
   | Fifo_link ->
       let drawn = now + 1 + Rng.int rng max_delay in
-      let time =
-        match Hashtbl.find_opt t.fifo_last link with
-        | Some last when last > drawn -> last
-        | _ -> drawn
-      in
-      Hashtbl.replace t.fifo_last link time;
+      let last = t.fifo_last.(link) in
+      let time = if last > drawn then last else drawn in
+      t.fifo_last.(link) <- time;
       (time, 0)
   | Adversarial_lifo { window } ->
       t.lifo_rank <- t.lifo_rank - 1;
@@ -93,26 +159,34 @@ let decide t ~rng ~max_delay ~now ~link =
 
 let on_node_deleted t ~deleted ~resolve =
   match t.discipline with
-  | Fifo_link ->
-      let moved =
-        Hashtbl.fold
-          (fun k last acc ->
-            match k with
-            | Direct (s, d) when d = deleted -> (k, Direct (s, resolve d), last) :: acc
-            | Up u when u = deleted -> (k, Up (resolve u), last) :: acc
-            | _ -> acc)
-          t.fifo_last []
-      in
-      List.iter
-        (fun (old_key, new_key, last) ->
-          Hashtbl.remove t.fifo_last old_key;
-          let merged =
-            match Hashtbl.find_opt t.fifo_last new_key with
-            | Some last' -> max last last'
-            | None -> last
-          in
-          Hashtbl.replace t.fifo_last new_key merged)
-        moved
+  | Fifo_link -> (
+      match Hashtbl.find t.by_dst deleted with
+      | exception Not_found -> ()
+      | ids ->
+          (* The deleted node never receives again (sends resolve to the
+             adopter), so its whole bucket retires here. Ascending id order
+             keeps fresh-id assignment identical to the historical
+             full-scan remap. Merging takes the max so a message sent to
+             [deleted] before the deletion and one sent to the adopter
+             after it still deliver in send order. *)
+          Hashtbl.remove t.by_dst deleted;
+          let ids = List.sort Int.compare ids in
+          List.iter
+            (fun id ->
+              let last = t.fifo_last.(id) in
+              if last > 0 then begin
+                let p = t.link_packs.(id) in
+                let remapped =
+                  if p land 1 = 1 then pack_up (resolve deleted)
+                  else pack_direct (p lsr 32) (resolve deleted)
+                in
+                if remapped <> p then begin
+                  let nid = intern_packed t remapped in
+                  if t.fifo_last.(nid) < last then t.fifo_last.(nid) <- last;
+                  t.fifo_last.(id) <- 0
+                end
+              end)
+            ids)
   | Random_delay | Adversarial_lifo _ | Bursty _ -> ()
 
 let link_to_string = function

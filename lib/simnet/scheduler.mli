@@ -20,7 +20,14 @@
       boundary, in send order (FIFO within the burst).
 
     A scheduler instance holds the per-link bookkeeping for one {!Net};
-    the pure {!discipline} value is what callers pass around. *)
+    the pure {!discipline} value is what callers pass around.
+
+    {b Link interning.} The hot path never constructs a {!link} value: a
+    link is interned at send time ({!intern_direct} / {!intern_up}) to a
+    dense {!link_id} that indexes flat per-link state here and in {!Net}'s
+    reorder accounting. Ids are assigned in first-send order and are stable
+    for the life of the scheduler; {!link_of_id} recovers the structured
+    form at the reporting boundary. *)
 
 type discipline =
   | Fifo_link
@@ -35,6 +42,10 @@ type link =
   | Up of Dtree.node
       (** the upward link of a node — "to my parent" sends, whoever the
           parent turns out to be at delivery time *)
+
+type link_id = int
+(** Dense per-scheduler link index, assigned by the [intern_*] functions
+    in first-send order; [0 <= id < link_count]. *)
 
 type t
 
@@ -62,7 +73,23 @@ val defaults : discipline list
 (** One representative of each discipline (default parameters), for
     schedule-exploration sweeps. *)
 
-val decide : t -> rng:Rng.t -> max_delay:int -> now:int -> link:link -> int * int
+val intern_direct : t -> src:Dtree.node -> dst:Dtree.node -> link_id
+(** The id of [Direct (src, dst)], interning it on first sight.
+    Allocation-free on the found path. *)
+
+val intern_up : t -> Dtree.node -> link_id
+(** The id of [Up v], interning it on first sight. Allocation-free on the
+    found path. *)
+
+val link_count : t -> int
+(** Number of links interned so far; grows monotonically, so callers can
+    size id-indexed side tables. *)
+
+val link_of_id : t -> link_id -> link
+(** The structured link behind an id, for reporting. Allocates.
+    @raise Invalid_argument on an id never returned by [intern_*]. *)
+
+val decide : t -> rng:Rng.t -> max_delay:int -> now:int -> link:link_id -> int * int
 (** [(delivery_time, priority)] for a message sent at [now] on [link].
     [delivery_time > now] always. The event queue orders by time, then
     priority, then insertion; {!Adversarial_lifo} is the only discipline

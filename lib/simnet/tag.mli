@@ -1,0 +1,41 @@
+(** Interned wire-tag identifiers.
+
+    A protocol declares its tag universe as a variant suffix type with a
+    single [to_string]; the rendered wire tags are interned once per {!Net}
+    into a table, and every hot-path operation from then on carries the
+    dense integer {!id} — tallying is a flat array increment, no string is
+    joined or hashed per send. Strings reappear only at the reporting
+    boundary ([Net.messages_by_tag], telemetry labels), rendered from the
+    table.
+
+    Interning the same string twice returns the same id, so a protocol
+    recreated on the same network (epoch-based wrappers do this) keeps
+    accumulating into the same counters. *)
+
+type id = private int
+(** Dense index into a {!table}: the first interned string is id 0, the
+    next id 1, and so on. Coerce with [(id :> int)] to index caller-side
+    arrays. *)
+
+type table
+
+val create : unit -> table
+
+val intern : table -> string -> id
+(** Return the id of [s], assigning the next dense id on first sight. Not
+    allocation-free (it may grow the table); protocols intern at creation
+    time and keep the ids. *)
+
+val to_string : table -> id -> string
+(** The string [id] was interned from. O(1), no allocation. *)
+
+val name_of_int : table -> int -> string
+(** [to_string] for an id stored as a bare int (id-indexed side tables
+    hold coerced ids).
+    @raise Invalid_argument outside [0 .. count - 1]. *)
+
+val count : table -> int
+(** Number of distinct strings interned; valid ids are [0 .. count - 1]. *)
+
+val iter : table -> f:(id -> string -> unit) -> unit
+(** Visit every interned tag in id order. *)

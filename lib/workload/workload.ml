@@ -188,14 +188,49 @@ type kind = K_add_leaf | K_remove_leaf | K_add_internal | K_remove_internal | K_
 type t = {
   rng : Rng.t;
   mix : Mix.t;
+  kind_cum : float array;
+      (* cumulative mix weights in declaration order, summed exactly as
+         [Rng.pick_weighted]'s left fold would — the drawn kind (and the
+         RNG stream) are bit-identical to the weighted-list form, without
+         rebuilding a list of boxed floats on every draw *)
   deep_bias : bool;
   within : Dtree.node option;
   mutable cache : Dtree.node array;  (* stale sample of live nodes *)
+  mutable cache_len : int;  (* live prefix of [cache]; the rest is garbage *)
   mutable cache_stamp : int;  (* tree change count at last refresh *)
 }
 
 let make ?(seed = 0xC0FFEE) ?(deep_bias = false) ?within ~mix () =
-  { rng = Rng.create ~seed; mix; deep_bias; within; cache = [||]; cache_stamp = -1 }
+  let kind_cum =
+    let w =
+      [|
+        mix.Mix.add_leaf;
+        mix.Mix.remove_leaf;
+        mix.Mix.add_internal;
+        mix.Mix.remove_internal;
+        mix.Mix.non_topological;
+      |]
+    in
+    let cum = Array.make (Array.length w) 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to Array.length w - 1 do
+      acc := !acc +. w.(i);
+      cum.(i) <- !acc
+    done;
+    cum
+  in
+  if kind_cum.(Array.length kind_cum - 1) <= 0.0 then
+    invalid_arg "Workload.make: mix weights sum to zero";
+  {
+    rng = Rng.create ~seed;
+    mix;
+    kind_cum;
+    deep_bias;
+    within;
+    cache = [||];
+    cache_len = 0;
+    cache_stamp = -1;
+  }
 
 let in_hotspot w tree v =
   match w.within with
@@ -203,15 +238,19 @@ let in_hotspot w tree v =
   | Some h -> (not (Dtree.live tree h)) || Dtree.is_ancestor tree ~anc:h ~desc:v
 
 let refresh_cache w tree =
-  (* fill the array straight from the live-node iterator: no intermediate
-     list, which at 10^6 nodes is the difference between a refresh being a
-     scan and being a GC event *)
-  let a = Array.make (Dtree.size tree) (Dtree.root tree) in
+  (* refill in place straight from the live-node iterator: no intermediate
+     list, and no fresh array either — the fallback path below refreshes on
+     every witness-starved request, and reallocating the snapshot each time
+     was the dominant allocation of those runs. The capacity only grows. *)
+  let n = Dtree.size tree in
+  if n > Array.length w.cache then
+    w.cache <- Array.make (max n (2 * Array.length w.cache)) (Dtree.root tree);
+  let a = w.cache in
   let i = ref 0 in
   Dtree.iter_nodes tree ~f:(fun v ->
       a.(!i) <- v;
       incr i);
-  w.cache <- a;
+  w.cache_len <- n;
   w.cache_stamp <- Dtree.change_count tree
 
 (* Sample a live node satisfying [pred]. Samples come from a cached snapshot
@@ -220,11 +259,11 @@ let refresh_cache w tree =
    a witness when one exists. *)
 let pick_target w tree ~pred =
   let stale =
-    Array.length w.cache = 0
-    || Dtree.change_count tree - w.cache_stamp > max 16 (Array.length w.cache / 4)
+    w.cache_len = 0
+    || Dtree.change_count tree - w.cache_stamp > max 16 (w.cache_len / 4)
   in
   if stale then refresh_cache w tree;
-  let sample () = w.cache.(Rng.int w.rng (Array.length w.cache)) in
+  let sample () = w.cache.(Rng.int w.rng w.cache_len) in
   let candidate () =
     let v = sample () in
     if w.deep_bias then begin
@@ -256,29 +295,32 @@ let pick_target w tree ~pred =
          like [Rng.pick] on the witness list. *)
       refresh_cache w tree;
       let matches = ref 0 in
-      Array.iter (fun v -> if pred v then incr matches) w.cache;
+      for i = 0 to w.cache_len - 1 do
+        if pred w.cache.(i) then incr matches
+      done;
       if !matches = 0 then None
       else begin
         let k = ref (Rng.int w.rng !matches) in
         let found = ref (-1) in
-        Array.iter
-          (fun v ->
-            if !found < 0 && pred v then
-              if !k = 0 then found := v else decr k)
-          w.cache;
+        for i = 0 to w.cache_len - 1 do
+          let v = w.cache.(i) in
+          if !found < 0 && pred v then if !k = 0 then found := v else decr k
+        done;
         Some !found
       end
 
+let kinds = [| K_add_leaf; K_remove_leaf; K_add_internal; K_remove_internal; K_event |]
+
 let kind_of_mix w =
-  let m = w.mix in
-  Rng.pick_weighted w.rng
-    [
-      (K_add_leaf, m.add_leaf);
-      (K_remove_leaf, m.remove_leaf);
-      (K_add_internal, m.add_internal);
-      (K_remove_internal, m.remove_internal);
-      (K_event, m.non_topological);
-    ]
+  (* one RNG draw and a scan over the precomputed cumulative weights;
+     decision-for-decision the same as [Rng.pick_weighted] on the
+     five-element list (same float, same comparison order, last element as
+     the default), so seeded op streams are unchanged *)
+  let cum = w.kind_cum in
+  let n = Array.length cum in
+  let x = Rng.float w.rng *. cum.(n - 1) in
+  let rec scan i = if i = n - 1 || cum.(i) > x then kinds.(i) else scan (i + 1) in
+  scan 0
 
 let op_of_kind w tree ~extra_pred kind =
   let root = Dtree.root tree in
@@ -301,12 +343,14 @@ let op_of_kind w tree ~extra_pred kind =
 let next_op_avoiding w tree ~forbidden =
   let extra_pred tree v =
     (* Reject if any node this op would touch is forbidden. Evaluated on the
-       chosen target by reconstructing the touched set per kind. *)
+       chosen target by reconstructing the touched set per kind. [parent_id]
+       rather than [parent]: this predicate runs over the whole cached live
+       set on the witness-scan fallback, and the [Some] box per candidate
+       dominated witness-starved runs. *)
     (not (forbidden v))
     &&
-    match Dtree.parent tree v with
-    | Some parent -> not (forbidden parent)
-    | None -> true
+    let p = Dtree.parent_id tree v in
+    p < 0 || not (forbidden p)
   in
   let rec go attempts =
     let kind = kind_of_mix w in

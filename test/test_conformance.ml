@@ -194,6 +194,40 @@ let tag_cases =
         drive_churn ~seed:9003 ~net ~tree ~requests
           ~submit:(fun op k -> Dist.submit ctrl op ~k:(fun _ -> k ()));
         assert_tags_declared ~proto:"dist" ~universe:(Dist.tags ctrl) net);
+    Alcotest.test_case "tags: variant renderer boundary" `Quick (fun () ->
+        (* the one string boundary of the variant universe: the renderer's
+           arms ARE the declared suffix list, and interning a rendered tag
+           round-trips through Net's intern table *)
+        let rendered =
+          List.map Dist.suffix_to_string
+            [
+              Dist.Agent_down;
+              Dist.Agent_reject;
+              Dist.Agent_release;
+              Dist.Agent_return;
+              Dist.Agent_unlock;
+              Dist.Agent_up;
+              Dist.Reject_wave;
+            ]
+        in
+        Alcotest.(check (list string)) "renderer arms are the suffix universe"
+          (List.sort compare rendered)
+          (List.sort compare Dist.tag_suffixes);
+        let tree, net = build_net ~seed:9061 16 in
+        let requests = 30 in
+        let u = Dtree.size tree + requests in
+        let ctrl = Dist.create ~params:(Params.make ~m:10 ~w:4 ~u) ~net () in
+        drive_churn ~seed:9063 ~net ~tree ~requests
+          ~submit:(fun op k -> Dist.submit ctrl op ~k:(fun _ -> k ()));
+        List.iter
+          (fun tag ->
+            (* intern is idempotent, so this hits the id the controller
+               registered at create; tag_name must render it back *)
+            let id = Net.intern_tag net tag in
+            Alcotest.(check string) "intern/tag_name round-trip" tag
+              (Net.tag_name net id))
+          (Dist.tags ctrl);
+        assert_tags_declared ~proto:"dist-variant" ~universe:(Dist.tags ctrl) net);
     Alcotest.test_case "tags: dist adaptive" `Quick (fun () ->
         let tree, net = build_net ~seed:9011 20 in
         let da = Dist_adaptive.create ~m:30 ~w:10 ~net () in

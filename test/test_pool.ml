@@ -128,6 +128,27 @@ let test_sweep_deterministic () =
       Alcotest.(check int) "reorders identical" a.Explore.reorders b.Explore.reorders)
     r1 r4
 
+(* Shard boundaries are a function of the cell list alone, so the rendered
+   sweep output must be byte-identical whatever the (jobs, shard_size)
+   combination — including shards that don't divide the cell count. *)
+let test_sweep_sharding_byte_identical () =
+  let seeds = [ 401; 402; 403 ] in
+  let render runs =
+    String.concat "\n"
+      (List.map (fun r -> Format.asprintf "%a" Explore.pp_run r) runs)
+  in
+  let reference = render (Explore.sweep ~jobs:1 ~seeds sweep_scenario) in
+  List.iter
+    (fun (jobs, shard_size) ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d shard_size=%d" jobs shard_size)
+        reference
+        (render (Explore.sweep ~jobs ~shard_size ~seeds sweep_scenario)))
+    [ (1, 1); (4, 1); (4, 2); (4, 3); (4, 64) ];
+  match Explore.sweep ~jobs:1 ~shard_size:0 ~seeds sweep_scenario with
+  | _ -> Alcotest.fail "shard_size:0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* The race dynlint D7 exists to prevent, stated positively: the
    shared-accumulator formulation (a closure incrementing one ref across
@@ -169,4 +190,6 @@ let suite =
       Alcotest.test_case "experiments identical at -j 4" `Quick
         test_experiments_deterministic;
       Alcotest.test_case "sweep identical at -j 4" `Quick test_sweep_deterministic;
+      Alcotest.test_case "sweep sharding byte-identical" `Quick
+        test_sweep_sharding_byte_identical;
     ] )

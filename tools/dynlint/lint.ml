@@ -51,10 +51,11 @@ let rule_help = function
        value defined outside it: that value is shared across domains and the \
        -j N = -j 1 byte-determinism contract breaks."
   | Protocol ->
-      "Every tag sent through Net.send must appear in the protocol's declared \
-       tag universe ([@@dynlint.tag_universe]), and every declared tag must be \
-       sent somewhere: a silently dropped tag produces a plausible but wrong \
-       message count, not a crash."
+      "Every tag literal sent through Net.send or handed to the intern \
+       boundary (Net.intern_tag / Tag.intern) must appear in a declared tag \
+       universe ([@@dynlint.tag_universe]); list-form universe entries must \
+       also be sent somewhere. Variant renderers declare their universe as a \
+       function, where dead arms are already a compiler guarantee."
   | Rng_taint ->
       "Every Rng.t must flow from a function parameter or an explicit \
        Rng.create ~seed, never from a module-level binding: module-level RNG \

@@ -61,6 +61,16 @@ let parallel_target p =
 
 let is_net_send p = ends_with ~suffix:[ "Net"; "send" ] (norm_path p)
 
+(* The intern boundary: with variant wire tags, the one place a protocol
+   turns strings into tag ids. A *direct* string-literal argument here is a
+   hand-rolled tag that must sit inside some declared universe; computed
+   strings (the [suffix_to_string]-rendered joins) are the renderer's
+   responsibility and stay out of D8's reach. *)
+let is_tag_intern p =
+  let c = norm_path p in
+  ends_with ~suffix:[ "Net"; "intern_tag" ] c
+  || ends_with ~suffix:[ "Tag"; "intern" ] c
+
 (* Types whose values are mutable through their public API: sharing one
    across Pool domains is a race. "ref" is special-cased (its head is
    Stdlib.ref, not M.t). *)
@@ -364,6 +374,20 @@ let scan_structure ~emit ~d8_sent ~d8_declared (str : structure) =
                         | Asttypes.Labelled "tag", Some arg ->
                             d8_sent := string_consts_in arg @ !d8_sent
                         | _ -> ())
+                      args
+                  else if is_tag_intern p then
+                    List.iter
+                      (function
+                        | ( _,
+                            Some
+                              {
+                                exp_desc =
+                                  Texp_constant (Asttypes.Const_string (s, _, _));
+                                exp_loc;
+                                _;
+                              } ) ->
+                            d8_sent := (s, exp_loc) :: !d8_sent
+                        | _ -> ())
                       args)
           | Texp_ident ((Path.Pdot _ as p), _, _) when is_rng_type e.exp_type ->
               emit Lint.Rng_taint e.exp_loc
@@ -378,8 +402,23 @@ let scan_structure ~emit ~d8_sent ~d8_declared (str : structure) =
           | Tstr_value (_, vbs) ->
               List.iter
                 (fun vb ->
-                  if has_universe_attr vb.vb_attributes then
-                    d8_declared := string_consts_in vb.vb_expr @ !d8_declared)
+                  if has_universe_attr vb.vb_attributes then begin
+                    (* A universe declared as a *function* (a variant
+                       renderer's match arms) gets its dead-arm direction
+                       from the compiler — exhaustiveness plus the
+                       unused-constructor warning — so only the rogue-tag
+                       direction applies to its literals. *)
+                    let from_function =
+                      match vb.vb_expr.exp_desc with
+                      | Texp_function _ -> true
+                      | _ -> false
+                    in
+                    d8_declared :=
+                      List.map
+                        (fun (s, l) -> (s, l, from_function))
+                        (string_consts_in vb.vb_expr)
+                      @ !d8_declared
+                  end)
                 vbs
           | _ -> ());
           Tast_iterator.default_iterator.structure_item self item);
@@ -457,9 +496,12 @@ let lint_cmt_files ?(allow = Lint.no_allow) ?tracker ?(source_root = ".") cmts =
           | _ -> ()))
     cmts;
   (* D8 is global: compare the sent and declared literal sets across every
-     scanned compilation unit. *)
+     scanned compilation unit. Function-form universes (variant renderers)
+     only participate in the rogue-tag direction — their dead arms are the
+     compiler's problem, not the linter's. *)
   let declared = List.rev !d8_declared and sent = List.rev !d8_sent in
-  let declared_tags = List.map fst declared and sent_tags = List.map fst sent in
+  let declared_tags = List.map (fun (s, _, _) -> s) declared
+  and sent_tags = List.map fst sent in
   List.iter
     (fun (tag, loc) ->
       if not (List.mem tag declared_tags) then
@@ -469,8 +511,8 @@ let lint_cmt_files ?(allow = Lint.no_allow) ?tracker ?(source_root = ".") cmts =
              tag))
     sent;
   List.iter
-    (fun (tag, loc) ->
-      if not (List.mem tag sent_tags) then
+    (fun (tag, loc, from_function) ->
+      if (not from_function) && not (List.mem tag sent_tags) then
         emit Lint.Protocol loc
           (Printf.sprintf
              "declared tag %S is never sent: dead handler arm or stale universe entry"

@@ -14,11 +14,19 @@
       another unit is not.
     - [D8]: the string literals flowing into [Net.send ~tag:] (collected
       recursively from the labelled argument, so helper calls like
-      [tag t "agent-up"] count) are compared globally against the literals
-      declared under any [let] binding carrying the
-      [[@@dynlint.tag_universe]] attribute. Sent-but-undeclared tags are
-      reported at the send literal; declared-but-never-sent tags (dead
-      arms) at the declaration literal.
+      [tag t "agent-up"] count), plus {e direct} string-literal arguments
+      of the intern boundary ([Net.intern_tag] / [Tag.intern]), are
+      compared globally against the literals declared under any [let]
+      binding carrying the [[@@dynlint.tag_universe]] attribute.
+      Sent-but-undeclared tags are reported at the send or intern literal;
+      declared-but-never-sent tags (dead arms) at the declaration literal.
+      When the attributed binding is a {e function} — a variant renderer
+      like [let suffix_to_string = function Agent_up -> "agent-up" | ...]
+      — the dead-arm direction is skipped: match exhaustiveness and the
+      unused-constructor warning already make it a compiler guarantee, so
+      D8 shrinks to the string boundary. Computed intern arguments (the
+      [name ^ "-" ^ suffix_to_string s] joins) are deliberately out of
+      scope: the renderer's arms {e are} the universe.
     - [D9]: an [Rng.t] bound at module level (including nested modules), or
       read from another module's value, is flagged; generators must flow
       from function parameters or a local [Rng.create ~seed]. A module-

@@ -1,0 +1,9 @@
+(* A variant-form universe: the renderer carries the attribute, so its
+   match arms are the declared tags. "pong" is never interned anywhere —
+   with a list-form universe that would be a dead-arm finding, but here
+   the unused-constructor warning already owns that direction, so dynlint
+   must stay silent about it. *)
+type suffix = Ping | Pong
+
+let suffix_to_string = function Ping -> "ping" | Pong -> "pong"
+[@@dynlint.tag_universe]

@@ -1,0 +1,11 @@
+(* The sanctioned shape: intern the rendered universe once, send ids. *)
+let setup net = Net.intern_tag net (Protocol.suffix_to_string Protocol.Ping)
+
+(* A literal that matches a declared arm is fine... *)
+let ping_id net = Net.intern_tag net "ping"
+
+(* ... but "rogue-intern" is hand-rolled past the renderer: no universe
+   declares it, so the intern boundary must flag it. *)
+let rogue_id net = Net.intern_tag net "rogue-intern"
+
+let ping net dst = Net.send net ~src:0 ~addr:dst ~tag:(ping_id net) ~bits:8 ignore

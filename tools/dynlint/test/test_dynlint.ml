@@ -142,6 +142,22 @@ let test_d8 () =
         (List.length fs));
   check_ids "d8_allow" [] (typed_ids "d8_allow")
 
+let test_d8_variant () =
+  (* a variant-form universe: the unused "pong" arm is the compiler's
+     business (no dead-arm finding), while the hand-rolled literal at the
+     intern boundary must still be flagged as rogue *)
+  match typed_findings "d8_variant" with
+  | [ rogue ] ->
+      Alcotest.(check string) "rule" "D8" (Lint.rule_id rogue.Lint.rule);
+      Alcotest.(check bool) "rogue intern literal flagged at its site" true
+        (contains rogue.Lint.file "sender.ml"
+        && contains rogue.Lint.msg "rogue-intern");
+      Alcotest.(check bool) "no dead-arm finding for the unused arm" false
+        (contains rogue.Lint.msg "pong")
+  | fs ->
+      Alcotest.failf "d8_variant: expected exactly 1 finding, got %d"
+        (List.length fs)
+
 let test_d9 () =
   (match typed_findings "d9_bad" with
   | [ use; binding; smuggle ] ->
@@ -295,6 +311,7 @@ let () =
           Alcotest.test_case "cross-module capture (D7)" `Quick
             test_d7_cross_module;
           Alcotest.test_case "protocol conformance (D8)" `Quick test_d8;
+          Alcotest.test_case "variant universe (D8)" `Quick test_d8_variant;
           Alcotest.test_case "rng taint (D9)" `Quick test_d9;
           Alcotest.test_case "stale suppressions (D10)" `Quick
             test_stale_allow;
