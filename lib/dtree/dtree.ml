@@ -37,13 +37,14 @@ type t = {
   mutable port_counter : int;
 }
 
-let root _t = 0
+let root _t = 0 [@@dynlint.zero_alloc]
 
 let fresh_port t =
   (* The paper lets an adversary pick port numbers; any distinct O(log N)-bit
      values are legal, so a global counter serves. *)
   t.port_counter <- t.port_counter + 1;
   t.port_counter
+  [@@dynlint.zero_alloc]
 
 let initial_cap = 64
 
@@ -75,6 +76,7 @@ let alloc t =
       v
     end
     else begin
+      (* dynlint: allow zero-alloc — amortized growth, doubling *)
       if t.next_slot = t.cap then grow t;
       let v = t.next_slot in
       t.next_slot <- v + 1;
@@ -91,6 +93,7 @@ let alloc t =
   t.degree.(v) <- 0;
   Bytes.set t.state v '\001';
   v
+  [@@dynlint.zero_alloc]
 
 let free_slot t v =
   Bytes.set t.state v '\002';
@@ -103,6 +106,7 @@ let free_slot t v =
     t.free_head <- v
   end
   else t.next_sibling.(v) <- nil
+  [@@dynlint.zero_alloc]
 
 let create ?(reuse_ids = false) () =
   let t =
@@ -130,13 +134,17 @@ let create ?(reuse_ids = false) () =
 let check_known t v =
   if v < 0 || v >= t.next_slot then
     invalid_arg (Printf.sprintf "Dtree: unknown node %d" v)
+  [@@dynlint.zero_alloc]
 
 let check_live op t v =
   check_known t v;
   if Bytes.get t.state v <> '\001' then
     invalid_arg (Printf.sprintf "Dtree.%s: node %d is not live" op v)
+  [@@dynlint.zero_alloc]
 
-let live t v = v >= 0 && v < t.next_slot && Bytes.get t.state v = '\001'
+let live t v =
+  v >= 0 && v < t.next_slot && Bytes.get t.state v = '\001'
+  [@@dynlint.zero_alloc]
 
 let link_child t ~parent:p v =
   t.parent.(v) <- p;
@@ -146,6 +154,7 @@ let link_child t ~parent:p v =
   if fc <> nil then t.prev_sibling.(fc) <- v;
   t.first_child.(p) <- v;
   t.degree.(p) <- t.degree.(p) + 1
+  [@@dynlint.zero_alloc]
 
 let unlink_child t v =
   let p = t.parent.(v) in
@@ -156,6 +165,7 @@ let unlink_child t v =
   t.prev_sibling.(v) <- nil;
   t.next_sibling.(v) <- nil;
   t.degree.(p) <- t.degree.(p) - 1
+  [@@dynlint.zero_alloc]
 
 let add_leaf t ~parent =
   check_live "add_leaf" t parent;
@@ -164,10 +174,12 @@ let add_leaf t ~parent =
   t.port.(v) <- fresh_port t;
   t.changes <- t.changes + 1;
   v
+  [@@dynlint.zero_alloc]
 
 let is_leaf t v =
   check_live "is_leaf" t v;
   t.first_child.(v) = nil
+  [@@dynlint.zero_alloc]
 
 let remove_leaf t v =
   if v = 0 then invalid_arg "Dtree.remove_leaf: cannot remove the root";
@@ -178,6 +190,7 @@ let remove_leaf t v =
   free_slot t v;
   t.live_count <- t.live_count - 1;
   t.changes <- t.changes + 1
+  [@@dynlint.zero_alloc]
 
 let add_internal t ~above =
   if above = 0 then invalid_arg "Dtree.add_internal: cannot insert above the root";
@@ -202,6 +215,7 @@ let add_internal t ~above =
   t.port.(above) <- fresh_port t;
   t.changes <- t.changes + 1;
   u
+  [@@dynlint.zero_alloc]
 
 let remove_internal t v =
   if v = 0 then invalid_arg "Dtree.remove_internal: cannot remove the root";
@@ -233,6 +247,7 @@ let remove_internal t v =
   free_slot t v;
   t.live_count <- t.live_count - 1;
   t.changes <- t.changes + 1
+  [@@dynlint.zero_alloc]
 
 let parent t v =
   check_live "parent" t v;
@@ -242,6 +257,7 @@ let parent t v =
 let parent_id t v =
   check_live "parent_id" t v;
   t.parent.(v)
+  [@@dynlint.zero_alloc]
 
 let iter_children t v ~f =
   check_live "iter_children" t v;
@@ -253,6 +269,7 @@ let iter_children t v ~f =
     f !c;
     c := next
   done
+  [@@dynlint.zero_alloc]
 
 let fold_children t v ~init ~f =
   check_live "fold_children" t v;
@@ -263,6 +280,7 @@ let fold_children t v ~init ~f =
     c := t.next_sibling.(!c)
   done;
   !acc
+  [@@dynlint.zero_alloc]
 
 let children t v =
   (* tail-recursive both ways: a star tree puts the whole arena in one list *)
@@ -271,10 +289,11 @@ let children t v =
 let child_degree t v =
   check_live "child_degree" t v;
   t.degree.(v)
+  [@@dynlint.zero_alloc]
 
-let size t = t.live_count
-let ever_created t = t.created
-let change_count t = t.changes
+let size t = t.live_count [@@dynlint.zero_alloc]
+let ever_created t = t.created [@@dynlint.zero_alloc]
+let change_count t = t.changes [@@dynlint.zero_alloc]
 
 let depth t v =
   check_live "depth" t v;
@@ -284,6 +303,7 @@ let depth t v =
     w := t.parent.(!w)
   done;
   !d
+  [@@dynlint.zero_alloc]
 
 let ancestor_at t v d =
   check_live "ancestor_at" t v;
@@ -311,6 +331,7 @@ let is_ancestor t ~anc ~desc =
     if !w = anc then found := true else w := t.parent.(!w)
   done;
   !found
+  [@@dynlint.zero_alloc]
 
 let lowest_common_ancestor t u v =
   (* Lift both nodes to equal depth, then climb in lockstep. *)
@@ -334,6 +355,7 @@ let iter_nodes t ~f =
   for v = 0 to t.next_slot - 1 do
     if Bytes.get t.state v = '\001' then f v
   done
+  [@@dynlint.zero_alloc]
 
 let live_nodes t =
   let acc = ref [] in
@@ -356,6 +378,7 @@ let any_leaf t =
     v := t.first_child.(!v)
   done;
   !v
+  [@@dynlint.zero_alloc]
 
 let internal_nodes t =
   let acc = ref [] in
@@ -392,17 +415,20 @@ let fold_subtree t v0 ~init ~f =
     end
   done;
   !acc
+  [@@dynlint.zero_alloc]
 
 let subtree_size t v =
   check_live "subtree_size" t v;
   fold_subtree t v ~init:0 ~f:(fun n _ -> n + 1)
+  [@@dynlint.zero_alloc]
 
-let fold_dfs t ~init ~f = fold_subtree t 0 ~init ~f
+let fold_dfs t ~init ~f = fold_subtree t 0 ~init ~f [@@dynlint.zero_alloc]
 
 let port_to_parent t v =
   if v = 0 then invalid_arg "Dtree.port_to_parent: the root has no parent";
   check_live "port_to_parent" t v;
   t.port.(v)
+  [@@dynlint.zero_alloc]
 
 let check t =
   let seen = Bytes.make (max 1 t.next_slot) '\000' in

@@ -31,6 +31,7 @@ let before t i j =
      &&
      let pi = t.prios.(i) and pj = t.prios.(j) in
      pi < pj || (pi = pj && t.seqs.(i) < t.seqs.(j))
+  [@@dynlint.zero_alloc]
 
 let swap t i j =
   let x = t.times.(i) in
@@ -45,6 +46,7 @@ let swap t i j =
   let x = t.payloads.(i) in
   t.payloads.(i) <- t.payloads.(j);
   t.payloads.(j) <- x
+  [@@dynlint.zero_alloc]
 
 let grow t =
   let cap = max 16 (2 * Array.length t.times) in
@@ -60,7 +62,12 @@ let grow t =
   Array.blit t.payloads 0 bigger 0 t.size;
   t.payloads <- bigger
 
-let add t ~time ?(priority = 0) payload =
+(* [priority] is a required label here: a cross-module call supplying an
+   *optional* argument boxes it in [Some] at the call site, which would put
+   two words back on every prioritized send. [add] wraps this for callers
+   that don't care. *)
+let add_prio t ~time ~priority payload =
+  (* dynlint: allow zero-alloc — amortized growth, doubling *)
   if t.size = Array.length t.times then grow t;
   let i = t.size in
   t.times.(i) <- time;
@@ -76,10 +83,15 @@ let add t ~time ?(priority = 0) payload =
     swap t !i p;
     i := p
   done
+  [@@dynlint.zero_alloc]
+
+let add t ~time ?(priority = 0) payload = add_prio t ~time ~priority payload
+  [@@dynlint.zero_alloc]
 
 let next_time t =
   if t.size = 0 then invalid_arg "Event_queue.next_time: empty";
   t.times.(0)
+  [@@dynlint.zero_alloc]
 
 let pop_exn t =
   if t.size = 0 then invalid_arg "Event_queue.pop_exn: empty";
@@ -108,6 +120,7 @@ let pop_exn t =
     done
   end;
   top
+  [@@dynlint.zero_alloc]
 
 let pop t =
   if t.size = 0 then None
@@ -116,5 +129,5 @@ let pop t =
     Some (time, pop_exn t)
 
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
-let is_empty t = t.size = 0
-let size t = t.size
+let is_empty t = t.size = 0 [@@dynlint.zero_alloc]
+let size t = t.size [@@dynlint.zero_alloc]

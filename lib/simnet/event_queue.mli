@@ -19,6 +19,13 @@ val create : dummy:'a -> 'a t
     unless it was [add]ed. *)
 
 val add : 'a t -> time:int -> ?priority:int -> 'a -> unit
+(** Insert an event. Omitting [priority] is free; {e supplying} it from
+    another module boxes the optional in [Some] at the call site — use
+    {!add_prio} on a prioritized hot path. *)
+
+val add_prio : 'a t -> time:int -> priority:int -> 'a -> unit
+(** [add] with a required [priority] label: allocation-free even when the
+    priority is computed, which is what {!Net}'s send path calls. *)
 
 val next_time : 'a t -> int
 (** Time of the earliest event. Allocation-free.

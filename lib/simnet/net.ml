@@ -130,8 +130,10 @@ let rec resolve t v =
   | exception Not_found -> v
   | p ->
       let r = resolve t p in
+      (* dynlint: allow zero-alloc — replace of an existing key is in-place *)
       if r <> p then Hashtbl.replace t.forwards v r;
       r
+  [@@dynlint.zero_alloc]
 
 let forward_hops t v =
   let rec count v n =
@@ -141,17 +143,21 @@ let forward_hops t v =
   in
   count v 0
 
+let grow_link_tables t n =
+  let cap = max 64 (2 * n) in
+  let last = Array.make cap (-1) in
+  Array.blit t.link_last 0 last 0 (Array.length t.link_last);
+  t.link_last <- last;
+  let re = Array.make cap 0 in
+  Array.blit t.link_reorders 0 re 0 (Array.length t.link_reorders);
+  t.link_reorders <- re
+
 let ensure_link_capacity t =
   let n = Scheduler.link_count t.sched in
-  if n > Array.length t.link_last then begin
-    let cap = max 64 (2 * n) in
-    let last = Array.make cap (-1) in
-    Array.blit t.link_last 0 last 0 (Array.length t.link_last);
-    t.link_last <- last;
-    let re = Array.make cap 0 in
-    Array.blit t.link_reorders 0 re 0 (Array.length t.link_reorders);
-    t.link_reorders <- re
-  end
+  if n > Array.length t.link_last then
+    (* dynlint: allow zero-alloc — amortized growth, doubling *)
+    grow_link_tables t n
+  [@@dynlint.zero_alloc]
 
 let acquire t =
   if t.pool_n > 0 then begin
@@ -159,7 +165,15 @@ let acquire t =
     t.pool_n <- n;
     t.pool.(n)
   end
-  else fresh_cell ()
+  else
+    (* dynlint: allow zero-alloc — pool miss mints the cell the pool keeps *)
+    fresh_cell ()
+  [@@dynlint.zero_alloc]
+
+let grow_pool t =
+  let bigger = Array.make (max 16 (2 * t.pool_n)) t.dummy in
+  Array.blit t.pool 0 bigger 0 t.pool_n;
+  t.pool <- bigger
 
 let release t c =
   (* Drop the closure and span references so a pooled cell retains
@@ -168,13 +182,38 @@ let release t c =
   c.c_act <- ignore_unit;
   c.c_ctx <- Telemetry.Event.no_ctx;
   c.c_is_action <- false;
-  if t.pool_n = Array.length t.pool then begin
-    let bigger = Array.make (max 16 (2 * t.pool_n)) t.dummy in
-    Array.blit t.pool 0 bigger 0 t.pool_n;
-    t.pool <- bigger
-  end;
+  if t.pool_n = Array.length t.pool then
+    (* dynlint: allow zero-alloc — amortized growth, doubling *)
+    grow_pool t;
   t.pool.(t.pool_n) <- c;
   t.pool_n <- t.pool_n + 1
+  [@@dynlint.zero_alloc]
+
+(* Cold traced-send path: mint the message's span — a fresh id, parented
+   on the ambient span (the delivery continuation or scheduled action
+   issuing this send) and inheriting its trace, or rooting a fresh trace
+   when sent from outside any causal context — then emit the send metrics
+   and event against it. Only runs under a sink; sink-less sends store the
+   shared [no_ctx] constant, allocate nothing and consume no ids. *)
+let trace_send t s ~src ~exact ~node ~tag ~bits =
+  let span = Telemetry.Sink.fresh_id s in
+  let parent = Telemetry.Sink.current_span s in
+  let trace = if parent < 0 then span else Telemetry.Sink.current_trace s in
+  let ctx = { Telemetry.Event.trace; span; parent } in
+  let tag_s = Tag.to_string t.tags tag in
+  let m = Telemetry.Sink.metrics s in
+  Telemetry.Metrics.inc (Telemetry.Metrics.counter m "net_messages_total");
+  Telemetry.Metrics.add (Telemetry.Metrics.counter m "net_bits_total") bits;
+  Telemetry.Metrics.inc
+    (Telemetry.Metrics.counter m ~labels:[ ("tag", tag_s) ]
+       "net_tag_messages_total");
+  Telemetry.Metrics.observe (Telemetry.Metrics.histogram m "net_message_bits") bits;
+  let eaddr =
+    if exact then Telemetry.Event.Exact node else Telemetry.Event.Parent_of node
+  in
+  Telemetry.Sink.event ~ctx s ~time:t.clock
+    (Telemetry.Event.Send { src; addr = eaddr; tag = tag_s; bits });
+  ctx
 
 let send_cell t ~src ~exact ~node ~tag ~bits k =
   t.message_count <- t.message_count + 1;
@@ -182,38 +221,13 @@ let send_cell t ~src ~exact ~node ~tag ~bits k =
   if bits > t.bits_max then t.bits_max <- bits;
   let tag_i = (tag : Tag.id :> int) in
   t.by_tag.(tag_i) <- t.by_tag.(tag_i) + 1;
-  (* Mint the message's span: a fresh id, parented on the ambient span (the
-     delivery continuation or scheduled action issuing this send) and
-     inheriting its trace — or rooting a fresh trace when sent from outside
-     any causal context. Sink-less runs store the shared [no_ctx] constant;
-     nothing is allocated and no ids are consumed. *)
   let ctx =
     match t.sink with
     | None -> Telemetry.Event.no_ctx
     | Some s ->
-        let span = Telemetry.Sink.fresh_id s in
-        let parent = Telemetry.Sink.current_span s in
-        let trace =
-          if parent < 0 then span else Telemetry.Sink.current_trace s
-        in
-        { Telemetry.Event.trace; span; parent }
+        (* dynlint: allow zero-alloc — traced runs pay for their telemetry *)
+        trace_send t s ~src ~exact ~node ~tag ~bits
   in
-  (match t.sink with
-  | None -> ()
-  | Some s ->
-      let tag_s = Tag.to_string t.tags tag in
-      let m = Telemetry.Sink.metrics s in
-      Telemetry.Metrics.inc (Telemetry.Metrics.counter m "net_messages_total");
-      Telemetry.Metrics.add (Telemetry.Metrics.counter m "net_bits_total") bits;
-      Telemetry.Metrics.inc
-        (Telemetry.Metrics.counter m ~labels:[ ("tag", tag_s) ]
-           "net_tag_messages_total");
-      Telemetry.Metrics.observe (Telemetry.Metrics.histogram m "net_message_bits") bits;
-      let eaddr =
-        if exact then Telemetry.Event.Exact node else Telemetry.Event.Parent_of node
-      in
-      Telemetry.Sink.event ~ctx s ~time:t.clock
-        (Telemetry.Event.Send { src; addr = eaddr; tag = tag_s; bits }));
   let link =
     if exact then Scheduler.intern_direct t.sched ~src ~dst:(resolve t node)
     else Scheduler.intern_up t.sched (resolve t node)
@@ -221,9 +235,10 @@ let send_cell t ~src ~exact ~node ~tag ~bits k =
   ensure_link_capacity t;
   let sseq = t.send_seq in
   t.send_seq <- sseq + 1;
-  let time, priority =
+  let time =
     Scheduler.decide t.sched ~rng:t.rng ~max_delay:t.max_delay ~now:t.clock ~link
   in
+  let priority = Scheduler.last_priority t.sched in
   let c = acquire t in
   c.c_src <- src;
   c.c_exact <- exact;
@@ -233,18 +248,22 @@ let send_cell t ~src ~exact ~node ~tag ~bits k =
   c.c_sseq <- sseq;
   c.c_ctx <- ctx;
   c.c_k <- k;
-  Event_queue.add t.events ~time ~priority c
+  Event_queue.add_prio t.events ~time ~priority c
+  [@@dynlint.zero_alloc]
 
 let send t ~src ~addr ~tag ~bits k =
   match addr with
   | Exact d -> send_cell t ~src ~exact:true ~node:d ~tag ~bits k
   | Parent_of v -> send_cell t ~src ~exact:false ~node:v ~tag ~bits k
+  [@@dynlint.zero_alloc]
 
 let send_to t ~src ~dst ~tag ~bits k =
   send_cell t ~src ~exact:true ~node:dst ~tag ~bits k
+  [@@dynlint.zero_alloc]
 
 let send_up t ~src ~tag ~bits k =
   send_cell t ~src ~exact:false ~node:src ~tag ~bits k
+  [@@dynlint.zero_alloc]
 
 let schedule t ?(delay = 1) f =
   if delay < 0 then invalid_arg "Net.schedule: negative delay";
@@ -279,6 +298,35 @@ let node_deleted t v ~parent =
   Hashtbl.replace t.forwards v parent;
   Scheduler.on_node_deleted t.sched ~deleted:v ~resolve:(resolve t)
 
+(* Cold traced-delivery path. The deliver event shares the message's span
+   (forwarding included: a redirected message keeps the context minted at
+   send time), and the span is installed as the ambient context around the
+   continuation so every event — and every further send — downstream of
+   this delivery is causally linked to it. *)
+let trace_deliver t s ~ctx ~src ~target ~tag_i ~sseq ~forwarded ~reordered k =
+  Telemetry.Sink.event ~ctx s ~time:t.clock
+    (Telemetry.Event.Deliver
+       {
+         src;
+         dst = target;
+         tag = Tag.name_of_int t.tags tag_i;
+         seq = sseq;
+         forwarded;
+         reordered;
+       });
+  let m = Telemetry.Sink.metrics s in
+  if forwarded then
+    Telemetry.Metrics.inc
+      (Telemetry.Metrics.counter m "net_forwarded_deliveries_total");
+  if reordered then
+    Telemetry.Metrics.inc (Telemetry.Metrics.counter m "net_reorders_total");
+  let saved_trace = Telemetry.Sink.current_trace s in
+  let saved_span = Telemetry.Sink.current_span s in
+  Telemetry.Sink.set_ambient s ~trace:ctx.Telemetry.Event.trace
+    ~span:ctx.Telemetry.Event.span;
+  k target;
+  Telemetry.Sink.set_ambient s ~trace:saved_trace ~span:saved_span
+
 let deliver t c =
   (* Copy the cell out and release it before running the continuation: the
      continuation's own sends reuse the cell immediately. *)
@@ -291,17 +339,13 @@ let deliver t c =
   let ctx = c.c_ctx in
   let k = c.c_k in
   release t c;
-  let target, forwarded =
-    if exact then begin
-      let r = resolve t anode in
-      (r, r <> anode)
-    end
+  let r = resolve t anode in
+  let target =
+    if exact then r
     else begin
-      let r = resolve t anode in
-      let forwarded = r <> anode in
       let p = Dtree.parent_id t.the_tree r in
-      if p >= 0 then (p, forwarded)
-      else (r, forwarded) (* the sender became the root: deliver locally *)
+      if p >= 0 then p
+      else r (* the sender became the root: deliver locally *)
     end
   in
   let reordered =
@@ -316,36 +360,13 @@ let deliver t c =
       false
     end
   in
-  (* The deliver event shares the message's span (forwarding included: a
-     redirected message keeps the context minted at send time), and the span
-     is installed as the ambient context around the continuation so every
-     event — and every further send — downstream of this delivery is
-     causally linked to it. *)
   match t.sink with
   | None -> k target
   | Some s ->
-      Telemetry.Sink.event ~ctx s ~time:t.clock
-        (Telemetry.Event.Deliver
-           {
-             src;
-             dst = target;
-             tag = Tag.name_of_int t.tags tag_i;
-             seq = sseq;
-             forwarded;
-             reordered;
-           });
-      let m = Telemetry.Sink.metrics s in
-      if forwarded then
-        Telemetry.Metrics.inc
-          (Telemetry.Metrics.counter m "net_forwarded_deliveries_total");
-      if reordered then
-        Telemetry.Metrics.inc (Telemetry.Metrics.counter m "net_reorders_total");
-      let saved_trace = Telemetry.Sink.current_trace s in
-      let saved_span = Telemetry.Sink.current_span s in
-      Telemetry.Sink.set_ambient s ~trace:ctx.Telemetry.Event.trace
-        ~span:ctx.Telemetry.Event.span;
-      k target;
-      Telemetry.Sink.set_ambient s ~trace:saved_trace ~span:saved_span
+      (* dynlint: allow zero-alloc — traced runs pay for their telemetry *)
+      trace_deliver t s ~ctx ~src ~target ~tag_i ~sseq
+        ~forwarded:(r <> anode) ~reordered k
+  [@@dynlint.zero_alloc]
 
 let step t =
   if Event_queue.is_empty t.events then false
@@ -361,8 +382,9 @@ let step t =
     else deliver t c;
     true
   end
+  [@@dynlint.zero_alloc]
 
-let run t = while step t do () done
+let run t = while step t do () done [@@dynlint.zero_alloc]
 let now t = t.clock
 let messages t = t.message_count
 let reorders t = t.reorder_count

@@ -13,8 +13,8 @@ type link_id = int
    stay far below 2^31 ([Dtree.ever_created] bounds them) — and the packed
    form keys an int hashtable whose found-path neither hashes a structured
    value nor boxes. *)
-let pack_direct s d = (s lsl 32) lor (d lsl 1)
-let pack_up v = (v lsl 1) lor 1
+let pack_direct s d = (s lsl 32) lor (d lsl 1) [@@dynlint.zero_alloc]
+let pack_up v = (v lsl 1) lor 1 [@@dynlint.zero_alloc]
 
 let unpack p =
   if p land 1 = 1 then Up (p lsr 1)
@@ -35,6 +35,10 @@ type t = {
          interned, and under churn the remaps themselves keep growing the
          id space — quadratic in the deletion count. *)
   mutable lifo_rank : int;  (* Adversarial_lifo: strictly decreasing priority *)
+  mutable last_prio : int;
+      (* priority decided for the most recent [decide]; kept out of the
+         return value so [decide] returns a bare int instead of a tuple
+         allocated per send *)
 }
 
 let default_window = 8
@@ -55,41 +59,49 @@ let create d =
     fifo_last = Array.make 64 0;
     by_dst = Hashtbl.create 64;
     lifo_rank = 0;
+    last_prio = 0;
   }
 
 let discipline t = t.discipline
+
+let intern_miss t p =
+  let id = t.link_n in
+  if id = Array.length t.link_packs then begin
+    let packs = Array.make (2 * id) 0 in
+    Array.blit t.link_packs 0 packs 0 id;
+    t.link_packs <- packs;
+    let last = Array.make (2 * id) 0 in
+    Array.blit t.fifo_last 0 last 0 id;
+    t.fifo_last <- last
+  end;
+  t.link_packs.(id) <- p;
+  t.link_n <- id + 1;
+  Hashtbl.add t.link_ids p id;
+  (match t.discipline with
+  | Fifo_link ->
+      let dst = if p land 1 = 1 then p lsr 1 else (p lsr 1) land 0x7FFFFFFF in
+      let prev =
+        match Hashtbl.find t.by_dst dst with
+        | ids -> ids
+        | exception Not_found -> []
+      in
+      Hashtbl.replace t.by_dst dst (id :: prev)
+  | Random_delay | Adversarial_lifo _ | Bursty _ -> ());
+  id
 
 let intern_packed t p =
   match Hashtbl.find t.link_ids p with
   | id -> id
   | exception Not_found ->
-      let id = t.link_n in
-      if id = Array.length t.link_packs then begin
-        let packs = Array.make (2 * id) 0 in
-        Array.blit t.link_packs 0 packs 0 id;
-        t.link_packs <- packs;
-        let last = Array.make (2 * id) 0 in
-        Array.blit t.fifo_last 0 last 0 id;
-        t.fifo_last <- last
-      end;
-      t.link_packs.(id) <- p;
-      t.link_n <- id + 1;
-      Hashtbl.add t.link_ids p id;
-      (match t.discipline with
-      | Fifo_link ->
-          let dst = if p land 1 = 1 then p lsr 1 else (p lsr 1) land 0x7FFFFFFF in
-          let prev =
-            match Hashtbl.find t.by_dst dst with
-            | ids -> ids
-            | exception Not_found -> []
-          in
-          Hashtbl.replace t.by_dst dst (id :: prev)
-      | Random_delay | Adversarial_lifo _ | Bursty _ -> ());
-      id
+      (* dynlint: allow zero-alloc — cold miss, once per distinct link *)
+      intern_miss t p
+  [@@dynlint.zero_alloc]
 
 let intern_direct t ~src ~dst = intern_packed t (pack_direct src dst)
-let intern_up t v = intern_packed t (pack_up v)
-let link_count t = t.link_n
+  [@@dynlint.zero_alloc]
+
+let intern_up t v = intern_packed t (pack_up v) [@@dynlint.zero_alloc]
+let link_count t = t.link_n [@@dynlint.zero_alloc]
 
 let link_of_id t id =
   if id < 0 || id >= t.link_n then invalid_arg "Scheduler.link_of_id";
@@ -145,17 +157,26 @@ let defaults =
 
 let decide t ~rng ~max_delay ~now ~link =
   match t.discipline with
-  | Random_delay -> (now + 1 + Rng.int rng max_delay, 0)
+  | Random_delay ->
+      t.last_prio <- 0;
+      now + 1 + Rng.int rng max_delay
   | Fifo_link ->
       let drawn = now + 1 + Rng.int rng max_delay in
       let last = t.fifo_last.(link) in
       let time = if last > drawn then last else drawn in
       t.fifo_last.(link) <- time;
-      (time, 0)
+      t.last_prio <- 0;
+      time
   | Adversarial_lifo { window } ->
       t.lifo_rank <- t.lifo_rank - 1;
-      (((now / window) + 1) * window, t.lifo_rank)
-  | Bursty { period } -> (((now / period) + 1) * period, 0)
+      t.last_prio <- t.lifo_rank;
+      ((now / window) + 1) * window
+  | Bursty { period } ->
+      t.last_prio <- 0;
+      ((now / period) + 1) * period
+  [@@dynlint.zero_alloc]
+
+let last_priority t = t.last_prio [@@dynlint.zero_alloc]
 
 let on_node_deleted t ~deleted ~resolve =
   match t.discipline with

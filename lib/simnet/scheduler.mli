@@ -89,13 +89,18 @@ val link_of_id : t -> link_id -> link
 (** The structured link behind an id, for reporting. Allocates.
     @raise Invalid_argument on an id never returned by [intern_*]. *)
 
-val decide : t -> rng:Rng.t -> max_delay:int -> now:int -> link:link_id -> int * int
-(** [(delivery_time, priority)] for a message sent at [now] on [link].
-    [delivery_time > now] always. The event queue orders by time, then
-    priority, then insertion; {!Adversarial_lifo} is the only discipline
-    using a non-zero priority (strictly decreasing, so same-time messages
-    release newest-first). [Fifo_link] and [Random_delay] consume one draw
-    from [rng] per call; the other disciplines consume none. *)
+val decide : t -> rng:Rng.t -> max_delay:int -> now:int -> link:link_id -> int
+(** Delivery time for a message sent at [now] on [link]; always [> now].
+    The priority of the decision is left in {!last_priority} rather than
+    returned — one [decide] per send, and a tuple here put an allocation
+    on every message. [Fifo_link] and [Random_delay] consume one draw from
+    [rng] per call; the other disciplines consume none. Allocation-free. *)
+
+val last_priority : t -> int
+(** Priority decided by the most recent {!decide} (meaningless before the
+    first). The event queue orders by time, then priority, then insertion;
+    {!Adversarial_lifo} is the only discipline using a non-zero priority
+    (strictly decreasing, so same-time messages release newest-first). *)
 
 val on_node_deleted : t -> deleted:Dtree.node -> resolve:(Dtree.node -> Dtree.node) -> unit
 (** Fold the FIFO state of every link ending at [deleted] into the

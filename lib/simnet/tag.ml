@@ -8,30 +8,35 @@ type table = {
 
 let create () = { ids = Hashtbl.create 16; names = Array.make 8 ""; n = 0 }
 
+let intern_miss t s =
+  let id = t.n in
+  if id = Array.length t.names then begin
+    let bigger = Array.make (2 * id) "" in
+    Array.blit t.names 0 bigger 0 id;
+    t.names <- bigger
+  end;
+  t.names.(id) <- s;
+  t.n <- id + 1;
+  Hashtbl.add t.ids s id;
+  id
+
 let intern t s =
   (* exception form rather than [find_opt]: re-interning an existing tag
      (epoch wrappers recreate their protocol per epoch) must not box *)
   match Hashtbl.find t.ids s with
   | id -> id
   | exception Not_found ->
-      let id = t.n in
-      if id = Array.length t.names then begin
-        let bigger = Array.make (2 * id) "" in
-        Array.blit t.names 0 bigger 0 id;
-        t.names <- bigger
-      end;
-      t.names.(id) <- s;
-      t.n <- id + 1;
-      Hashtbl.add t.ids s id;
-      id
+      (* dynlint: allow zero-alloc — cold miss, once per distinct tag *)
+      intern_miss t s
+  [@@dynlint.zero_alloc]
 
 let to_string t id =
   if id < 0 || id >= t.n then invalid_arg "Tag.to_string: unknown id";
   t.names.(id)
+  [@@dynlint.zero_alloc]
 
-let name_of_int = to_string
-
-let count t = t.n
+let name_of_int = to_string [@@dynlint.zero_alloc]
+let count t = t.n [@@dynlint.zero_alloc]
 
 let iter t ~f =
   for id = 0 to t.n - 1 do

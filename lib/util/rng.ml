@@ -1,38 +1,109 @@
-type t = { mutable state : int64 }
+(* SplitMix64 on two 32-bit halves held in native ints.
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+   The obvious representation (a single [int64] field) boxes every
+   intermediate: each draw cost ~9 Int64 allocations, which put Rng.next
+   on the allocation profile of the adversarial scheduler (one draw per
+   delivery decision). Splitting the state into hi/lo 32-bit halves keeps
+   every intermediate an immediate and makes the integer draws
+   allocation-free — [next]/[int]/[bool] are [@@dynlint.zero_alloc] and
+   D11 holds them to it. The mixed output of the last step lands in the
+   [rhi]/[rlo] scratch fields rather than a returned pair for the same
+   reason.
 
-let create ~seed = { state = Int64.of_int seed }
+   The half-width arithmetic reproduces 64-bit wraparound exactly, so
+   seeded streams are byte-identical to the Int64 implementation (the
+   differential test in test_zero_alloc.ml pins this): 64-bit add is
+   lo-sum + explicit carry; 64-bit multiply splits the low 32x32 product
+   into 16-bit limbs (a full 32x32 product can reach 2^64 and native ints
+   wrap at 2^63), while everything feeding only the high word is computed
+   mod 2^32 directly — wrapping mod 2^63 first is harmless since 2^32
+   divides it. *)
+
+type t = {
+  mutable hi : int;  (* state, bits 32-63 *)
+  mutable lo : int;  (* state, bits 0-31 *)
+  mutable rhi : int;  (* last mixed output, bits 32-63 *)
+  mutable rlo : int;  (* last mixed output, bits 0-31 *)
+}
+
+let mask32 = 0xFFFFFFFF
+
+let create ~seed =
+  { hi = (seed asr 32) land mask32; lo = seed land mask32; rhi = 0; rlo = 0 }
+
+(* (ahi:alo) * (bhi:blo) mod 2^64, into t.rhi:t.rlo. *)
+let mul_into t ahi alo bhi blo =
+  let a0l = alo land 0xFFFF and a0h = alo lsr 16 in
+  let b0l = blo land 0xFFFF and b0h = blo lsr 16 in
+  let p00 = a0l * b0l in
+  let mid = (a0h * b0l) + (a0l * b0h) in
+  let lo = p00 + ((mid land 0xFFFF) lsl 16) in
+  t.rlo <- lo land mask32;
+  t.rhi <-
+    ((a0h * b0h) + (mid lsr 16) + (lo lsr 32) + (alo * bhi) + (ahi * blo))
+    land mask32
+
+(* Advance the state by the golden gamma and leave the SplitMix64-mixed
+   draw in t.rhi:t.rlo. Constants are the halves of 0x9E3779B97F4A7C15,
+   0xBF58476D1CE4E5B9 and 0x94D049BB133111EB. *)
+let step t =
+  let lo = t.lo + 0x7F4A7C15 in
+  t.hi <- (t.hi + 0x9E3779B9 + (lo lsr 32)) land mask32;
+  t.lo <- lo land mask32;
+  (* z ^= z >>> 30; z *= C1 *)
+  let zhi = t.hi and zlo = t.lo in
+  let xlo = zlo lxor (((zhi lsl 2) lor (zlo lsr 30)) land mask32) in
+  let xhi = zhi lxor (zhi lsr 30) in
+  mul_into t xhi xlo 0xBF58476D 0x1CE4E5B9;
+  (* z ^= z >>> 27; z *= C2 *)
+  let zhi = t.rhi and zlo = t.rlo in
+  let xlo = zlo lxor (((zhi lsl 5) lor (zlo lsr 27)) land mask32) in
+  let xhi = zhi lxor (zhi lsr 27) in
+  mul_into t xhi xlo 0x94D049BB 0x133111EB;
+  (* z ^= z >>> 31 *)
+  let zhi = t.rhi and zlo = t.rlo in
+  t.rlo <- zlo lxor (((zhi lsl 1) lor (zlo lsr 31)) land mask32);
+  t.rhi <- zhi lxor (zhi lsr 31)
 
 let int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  step t;
+  Int64.logor (Int64.shift_left (Int64.of_int t.rhi) 32) (Int64.of_int t.rlo)
 
-let split t = { state = int64 t }
+let split t =
+  step t;
+  { hi = t.rhi; lo = t.rlo; rhi = 0; rlo = 0 }
+
+let next t =
+  step t;
+  (t.rhi lsl 30) lor (t.rlo lsr 2)
+  [@@dynlint.zero_alloc]
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Shift by 2 so the value fits OCaml's 63-bit native int (stays
-     non-negative). *)
-  let mask = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
-  mask mod bound
+  (* The draw is the raw output shifted into 62 non-negative bits — the
+     same value the Int64 implementation produced with to_int (z >>> 2). *)
+  next t mod bound
+  [@@dynlint.zero_alloc]
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";
   lo + int t (hi - lo + 1)
+  [@@dynlint.zero_alloc]
 
 let float t =
-  let bits53 = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  step t;
+  let bits53 = Stdlib.float_of_int ((t.rhi lsl 21) lor (t.rlo lsr 11)) in
   bits53 /. 9007199254740992.0
 
-let bool t = Int64.logand (int64 t) 1L = 1L
+let bool t =
+  step t;
+  t.rlo land 1 = 1
+  [@@dynlint.zero_alloc]
 
 let pick_arr t a =
   if Array.length a = 0 then invalid_arg "Rng.pick_arr: empty array";
   Array.unsafe_get a (int t (Array.length a))
+  [@@dynlint.zero_alloc]
 
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"

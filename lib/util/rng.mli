@@ -2,7 +2,13 @@
 
     Every randomized component of the reproduction (workload generation,
     adversarial link delays, port assignment) draws from an explicit [Rng.t]
-    so that experiments and failing test cases replay exactly from a seed. *)
+    so that experiments and failing test cases replay exactly from a seed.
+
+    The state lives in two 32-bit halves held in native ints, so the
+    integer draws ({!next}, {!int}, {!int_in}, {!bool}, {!pick_arr})
+    allocate nothing — they are [[@@dynlint.zero_alloc]]-annotated and the
+    D11 checker enforces it. {!int64}, {!float} and the list-shaped
+    helpers still box or build their results. *)
 
 type t
 
@@ -12,7 +18,11 @@ val split : t -> t
 (** An independent stream derived from the current state. *)
 
 val int64 : t -> int64
-(** Next raw 64-bit output. *)
+(** Next raw 64-bit output (boxed). *)
+
+val next : t -> int
+(** Next raw draw as a native int: the 64-bit output shifted right by two,
+    so it is non-negative and fits 62 bits. Allocation-free. *)
 
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if

@@ -1,17 +1,19 @@
 (* dynlint — determinism & domain-safety lint for this repo.
 
-   Usage: dynlint [--root DIR] [--allow FILE] [--cmt DIR]... [--sarif FILE]
-                  [PATH...]
+   Usage: dynlint [--rules] [--root DIR] [--allow FILE] [--cmt DIR]...
+                  [--sarif FILE] [PATH...]
 
    Each PATH (relative to --root, default ".") is a directory walked
    recursively or a single .ml file; the parsetree pass (D1-D6) runs over
    those. Each --cmt DIR is searched (relative to the working directory,
    where dune leaves _build artifacts) for .cmt files and the typedtree
-   pass (D7-D9) runs over those; source files referenced by the cmts are
-   resolved against --root for inline-allow suppression. After both
-   passes, any allow-file entry or inline allow comment that suppressed
-   nothing is itself reported (D10), so dead exceptions cannot
-   accumulate.
+   pass (D7-D9, D11) runs over those; a --cmt DIR yielding no .cmt files
+   is a hard error (exit 2), because silently skipping the typed pass
+   would green-wash a broken build graph. Source files referenced by the
+   cmts are resolved against --root for inline-allow suppression. After
+   both passes, any allow-file entry or inline allow comment that
+   suppressed nothing is itself reported (D10), so dead exceptions cannot
+   accumulate. --rules prints the rule table and exits.
 
    Prints one "file:line:col [id name] message" per finding, writes the
    findings as SARIF 2.1.0 when --sarif is given (also when clean), and
@@ -20,7 +22,7 @@
    set and the allowlist syntax. *)
 
 let usage =
-  "dynlint [--root DIR] [--allow FILE] [--cmt DIR]... [--sarif FILE] [PATH...]"
+  "dynlint [--rules] [--root DIR] [--allow FILE] [--cmt DIR]... [--sarif FILE] [PATH...]"
 
 let () =
   let root = ref "." in
@@ -30,6 +32,12 @@ let () =
   let paths = ref [] in
   let spec =
     [
+      ( "--rules",
+        Arg.Unit
+          (fun () ->
+            print_string (Lint.rules_table ());
+            exit 0),
+        "  print the rule table (id, allow-key, pass, summary) and exit" );
       ("--root", Arg.Set_string root, "DIR  resolve PATHs and cmt source files relative to DIR (default .)");
       ( "--allow",
         Arg.String (fun f -> allow_file := Some f),
@@ -62,11 +70,26 @@ let () =
   in
   let typed =
     if cmt_dirs = [] then []
-    else Lint_typed.lint_cmt_dirs ~allow ~tracker ~source_root:!root cmt_dirs
+    else begin
+      (* An empty --cmt DIR means @check didn't run (or the dir is wrong):
+         the typed pass (D7-D9, D11) would silently vacuously pass. *)
+      List.iter
+        (fun d ->
+          if Lint_typed.collect_cmt_files [ d ] = [] then (
+            Printf.eprintf
+              "dynlint: --cmt %s contains no .cmt files; run `dune build \
+               @check` first (typed rules D7-D9/D11 cannot run without \
+               cmts)\n"
+              d;
+            exit 2))
+        cmt_dirs;
+      Lint_typed.lint_cmt_dirs ~allow ~tracker ~source_root:!root cmt_dirs
+    end
   in
   let in_scope rule =
     match rule with
-    | Lint.Parallel_race | Lint.Protocol | Lint.Rng_taint -> cmt_dirs <> []
+    | Lint.Parallel_race | Lint.Protocol | Lint.Rng_taint | Lint.Zero_alloc ->
+        cmt_dirs <> []
     | Lint.Stale_allow -> true
     | _ -> paths <> []
   in

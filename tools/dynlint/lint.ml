@@ -8,6 +8,7 @@ type rule =
   | Parallel_race
   | Protocol
   | Rng_taint
+  | Zero_alloc
   | Stale_allow
 
 let rule_id = function
@@ -21,6 +22,7 @@ let rule_id = function
   | Protocol -> "D8"
   | Rng_taint -> "D9"
   | Stale_allow -> "D10"
+  | Zero_alloc -> "D11"
 
 let rule_name = function
   | Global_state -> "global-state"
@@ -33,6 +35,7 @@ let rule_name = function
   | Protocol -> "protocol-conformance"
   | Rng_taint -> "rng-taint"
   | Stale_allow -> "stale-allow"
+  | Zero_alloc -> "zero-alloc"
 
 let rule_help = function
   | Global_state ->
@@ -63,12 +66,40 @@ let rule_help = function
   | Stale_allow ->
       "This allowlist entry or inline allow comment suppresses nothing; dead \
        exceptions accumulate until they hide a real regression."
+  | Zero_alloc ->
+      "A function annotated [@@dynlint.zero_alloc] must allocate nothing on \
+       any non-raising path: no closures, tuples, records, boxed floats, \
+       refs, partial applications, polymorphic compares, or calls into \
+       functions not themselves proven or assumed zero-alloc."
 
 let all_rules =
   [
     Global_state; Ambient; Poly_compare; Unsafe; Mli; Stdout; Parallel_race;
-    Protocol; Rng_taint; Stale_allow;
+    Protocol; Rng_taint; Stale_allow; Zero_alloc;
   ]
+
+(* Which phase of the tool owns the rule — the `--rules` table prints it and
+   the driver's D10 in_scope gating mirrors it. *)
+let rule_pass = function
+  | Global_state | Ambient | Poly_compare | Unsafe | Mli | Stdout -> "parsetree"
+  | Parallel_race | Protocol | Rng_taint | Zero_alloc -> "typedtree"
+  | Stale_allow -> "driver"
+
+(* The `dynlint --rules` table: one line per rule. Kept as data (not
+   Printf.printf'd in the driver) so the test suite can assert it against
+   the SARIF rule table and the DESIGN.md table without spawning a
+   process. *)
+let rules_table () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-4s %-20s %-10s %s\n" "ID" "ALLOW-KEY" "PASS" "SUMMARY");
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%-4s %-20s %-10s %s\n" (rule_id r) (rule_name r)
+           (rule_pass r) (rule_help r)))
+    all_rules;
+  Buffer.contents b
 
 let rule_of_name s = List.find_opt (fun r -> rule_name r = s) all_rules
 

@@ -41,6 +41,10 @@
       parameter or an explicit [Rng.create ~seed].
     - [D10 stale-allow] (driver): an allow-file entry or inline allow
       comment that suppressed no finding across the whole run.
+    - [D11 zero-alloc] (typed, {!Lint_alloc}): a function annotated
+      [[@@dynlint.zero_alloc]] is conservatively verified to allocate
+      nothing on any non-raising path; [[@@dynlint.zero_alloc assume]]
+      vouches for externals and wrappers the checker cannot see into.
 
     {2 Allowlisting}
 
@@ -63,21 +67,30 @@ type rule =
   | Parallel_race  (** D7, typedtree pass *)
   | Protocol  (** D8, typedtree pass *)
   | Rng_taint  (** D9, typedtree pass *)
+  | Zero_alloc  (** D11, typedtree pass *)
   | Stale_allow  (** D10, driver *)
 
 val rule_id : rule -> string
-(** ["D1"] .. ["D10"]. *)
+(** ["D1"] .. ["D11"]. *)
 
 val rule_name : rule -> string
 (** The allowlist token: ["global-state"], ["ambient"], ["poly-compare"],
     ["unsafe"], ["mli"], ["stdout"], ["parallel-race"],
-    ["protocol-conformance"], ["rng-taint"], ["stale-allow"]. *)
+    ["protocol-conformance"], ["rng-taint"], ["stale-allow"],
+    ["zero-alloc"]. *)
 
 val rule_help : rule -> string
 (** One-sentence rationale, used as the SARIF rule description. *)
 
 val all_rules : rule list
 (** Every rule, in id order. *)
+
+val rule_pass : rule -> string
+(** Which phase owns the rule: ["parsetree"], ["typedtree"] or ["driver"]. *)
+
+val rules_table : unit -> string
+(** The [dynlint --rules] listing: a header line plus one line per rule
+    (id, allow-key, pass, one-line summary), in {!all_rules} order. *)
 
 val rule_of_name : string -> rule option
 

@@ -1,10 +1,12 @@
-(* The typedtree pass: D7/D8/D9 over .cmt files.
+(* The typedtree pass: D7/D8/D9/D11 over .cmt files.
 
    Where lint.ml works purely syntactically, these rules need types (is
    this captured value a Hashtbl.t?) and cross-module visibility (is this
    tag literal declared in *any* compilation unit's tag universe?), so
    they read the .cmt files that `dune build @check` leaves under
-   _build/**/.objs/byte/.
+   _build/**/.objs/byte/. D11's allocation checker lives in Lint_alloc;
+   this driver collects its per-unit summaries in the same sweep that
+   scans for D7-D9 and runs the verification once every unit is in.
 
    Path matching is by suffix on the normalized component list: a [Path.t]
    is flattened to its dotted components and every component is further
@@ -452,6 +454,7 @@ let lint_cmt_files ?(allow = Lint.no_allow) ?tracker ?(source_root = ".") cmts =
   let seen_sources = Hashtbl.create 16 in
   let findings = ref [] in
   let d8_sent = ref [] and d8_declared = ref [] in
+  let d11_summaries = ref [] in
   (* Lines of each linted source, for inline-allow suppression. Sources
      that cannot be found (e.g. a cmt linted outside its workspace) fall
      back to allow-file-only suppression. *)
@@ -492,9 +495,25 @@ let lint_cmt_files ?(allow = Lint.no_allow) ?tracker ?(source_root = ".") cmts =
               (* Touch the source now so its inline allow sites register
                  with the tracker even when the file is finding-free. *)
               ignore (source_lines_of src);
-              scan_structure ~emit ~d8_sent ~d8_declared str
+              scan_structure ~emit ~d8_sent ~d8_declared str;
+              (* D11 first sweep: harvest [@@dynlint.zero_alloc] summaries.
+                 The unit name is the unwrapped module ("Mylib__Net" ->
+                 "Net"), matching how call sites spell cross-module
+                 references after path normalization. *)
+              let unit_name =
+                match List.rev (split_dunder info.Cmt_format.cmt_modname) with
+                | last :: _ -> last
+                | [] -> info.Cmt_format.cmt_modname
+              in
+              d11_summaries :=
+                !d11_summaries @ Lint_alloc.collect ~unit_name str
           | _ -> ()))
     cmts;
+  (* D11 second sweep: verify every checked summary against the trusted
+     table formed by all of them (cross-module, like D8's universe). *)
+  Lint_alloc.verify
+    ~emit:(fun loc msg -> emit Lint.Zero_alloc loc msg)
+    !d11_summaries;
   (* D8 is global: compare the sent and declared literal sets across every
      scanned compilation unit. Function-form universes (variant renderers)
      only participate in the rogue-tag direction — their dead arms are the

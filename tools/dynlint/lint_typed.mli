@@ -1,5 +1,6 @@
-(** The typedtree pass: D7 (parallel-race), D8 (protocol-conformance) and
-    D9 (rng-taint) over the [.cmt] files that [dune build @check] produces.
+(** The typedtree pass: D7 (parallel-race), D8 (protocol-conformance),
+    D9 (rng-taint) and D11 (zero-alloc) over the [.cmt] files that
+    [dune build @check] produces.
 
     - [D7]: a closure passed to [Pool.map]/[Pool.run]/[Pool.iter]/
       [Explore.sweep] captures a value of mutable type ([ref], [Hashtbl.t],
@@ -34,6 +35,12 @@
       expression carries an [Rng.t] inside a record field or tuple slot is
       flagged too (the walk stops at function boundaries — a module-level
       function creating a local generator is the sanctioned shape).
+    - [D11]: functions annotated [[@@dynlint.zero_alloc]] are verified
+      allocation-free by {!Lint_alloc}. The sweep over the cmts collects
+      per-unit summaries (check and assume alike), and verification runs
+      once all units are in, so cross-module calls between annotated
+      functions resolve regardless of scan order — the same global shape
+      as D8's universe table.
 
     Path and type heads are matched by suffix on "__"-split components, so
     wrapped libraries ([Mylib__Pool.map]) and module aliases both match.
@@ -54,7 +61,7 @@ val lint_cmt_files :
   ?source_root:string ->
   string list ->
   Lint.finding list
-(** Run D7/D8/D9 over the given [.cmt] files. Units are deduplicated by
+(** Run D7/D8/D9/D11 over the given [.cmt] files. Units are deduplicated by
     source file; interfaces, packed modules and generated ([.ml-gen])
     units are skipped, as are unreadable cmts. [source_root] (default
     ["."]) prefixes the workspace-relative source paths recorded in the

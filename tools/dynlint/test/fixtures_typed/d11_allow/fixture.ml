@@ -1,0 +1,12 @@
+(* Inline suppression and its failure mode: the comment above [traced]'s
+   Some is used (the finding is silenced); the one above [clean] covers a
+   line that no longer allocates, so a tracker-carrying run must report
+   it as a D10 stale allow. *)
+
+let traced x =
+  (* dynlint: allow zero-alloc -- fixture: the box is the point *)
+  Some x
+  [@@dynlint.zero_alloc]
+
+(* dynlint: allow zero-alloc -- stale: nothing below allocates anymore *)
+let clean x = x + 1 [@@dynlint.zero_alloc]

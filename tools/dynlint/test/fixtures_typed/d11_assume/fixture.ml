@@ -1,0 +1,14 @@
+(* The assume escape hatch: an annotated external is always taken on
+   faith (there is no body to verify), and [assume] on an ordinary
+   function skips verification of its body while still entering it in
+   the trusted table. [use] calls both and must verify cleanly. *)
+
+external opaque : int -> int = "%identity" [@@dynlint.zero_alloc]
+
+(* allocates, but the annotation says: trust me, don't look *)
+let scratch x = [ x; x ] [@@dynlint.zero_alloc assume]
+
+let use x =
+  ignore (scratch x);
+  opaque x
+  [@@dynlint.zero_alloc]

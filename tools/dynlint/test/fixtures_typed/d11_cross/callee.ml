@@ -1,0 +1,5 @@
+(* The foreign unit: one annotated (hence proven, hence trusted across
+   the module boundary) function and one plain allocating one. *)
+
+let id x = x [@@dynlint.zero_alloc]
+let boxes x = Some x

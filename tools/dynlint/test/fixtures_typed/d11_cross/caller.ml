@@ -1,0 +1,6 @@
+(* Cross-module calls out of an annotated function: the call into the
+   annotated [Callee.id] is trusted via the per-unit summary table; the
+   call into the unannotated [Callee.boxes] is the one finding. *)
+
+let ok x = Callee.id x [@@dynlint.zero_alloc]
+let bad x = Callee.boxes x [@@dynlint.zero_alloc]

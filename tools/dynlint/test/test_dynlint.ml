@@ -1,7 +1,8 @@
 (* dynlint's own test suite: a fixture corpus with one bad + one
    allow-annotated file per rule, exact rule-id assertions, the allow-file
-   and context gates, the typed (cmt) fixtures for D7/D8/D9, SARIF output,
-   stale-suppression reporting, and clean-tree silence on the repo's lib/. *)
+   and context gates, the typed (cmt) fixtures for D7/D8/D9/D11, SARIF
+   output, stale-suppression reporting, rule-table sync across --rules /
+   SARIF / DESIGN.md, and clean-tree silence on the repo's lib/. *)
 
 let lib_ctx = { Lint.lib = true; test = false }
 
@@ -180,6 +181,62 @@ let test_d9 () =
         (List.length fs));
   check_ids "d9_allow" [] (typed_ids "d9_allow")
 
+let test_d11 () =
+  let findings = typed_findings "d11_bad" in
+  check_ids "d11_bad"
+    [ "D11"; "D11"; "D11"; "D11"; "D11"; "D11"; "D11"; "D11"; "D11"; "D11" ]
+    (List.map (fun f -> Lint.rule_id f.Lint.rule) findings);
+  let has sub = List.exists (fun f -> contains f.Lint.msg sub) findings in
+  (* one spot-check per allocation kind, in fixture order *)
+  Alcotest.(check bool) "closure capture named" true
+    (has "closure capturing 'n'");
+  Alcotest.(check bool) "tuple construction" true (has "tuple construction");
+  Alcotest.(check bool) "float boxing" true (has "returns float");
+  Alcotest.(check bool) "partial application" true (has "partial application");
+  Alcotest.(check bool) "escaping ref" true (has "ref cell 'r' escapes");
+  Alcotest.(check bool) "record literal" true (has "record literal");
+  Alcotest.(check bool) "array literal" true (has "array literal");
+  Alcotest.(check bool) "poly compare" true (has "polymorphic compare");
+  Alcotest.(check bool) "constructor payload" true
+    (has "constructor Some with payload");
+  (* the same-unit chase reports the callee's allocation at the call site *)
+  Alcotest.(check bool) "chased callee" true (has "calls 'helper'");
+  (* findings name the annotated owner *)
+  Alcotest.(check bool) "owner attribution" true
+    (has "(in zero-alloc Fixture.pair)");
+  check_ids "d11_good" [] (typed_ids "d11_good")
+
+let test_d11_cross_module () =
+  match typed_findings "d11_cross" with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "D11" (Lint.rule_id f.Lint.rule);
+      Alcotest.(check bool) "flagged in the caller" true
+        (contains f.Lint.file "caller.ml");
+      Alcotest.(check bool) "names the unproven callee" true
+        (contains f.Lint.msg "Callee.boxes")
+  | fs ->
+      Alcotest.failf "d11_cross: expected exactly 1 finding, got %d"
+        (List.length fs)
+
+let test_d11_assume () = check_ids "d11_assume" [] (typed_ids "d11_assume")
+
+let test_d11_allow () =
+  let tracker = Lint.new_tracker () in
+  check_ids "d11_allow suppressed" []
+    (List.map
+       (fun f -> Lint.rule_id f.Lint.rule)
+       (typed_findings ~tracker "d11_allow"));
+  let d11_only = function Lint.Zero_alloc -> true | _ -> false in
+  match Lint.stale_findings ~in_scope:d11_only ~allow:Lint.no_allow tracker with
+  | [ stale ] ->
+      Alcotest.(check string) "stale is D10" "D10" (Lint.rule_id stale.Lint.rule);
+      Alcotest.(check bool) "stale comment located" true
+        (contains stale.Lint.file "d11_allow/fixture.ml");
+      Alcotest.(check int) "stale comment line" 11 stale.Lint.line
+  | fs ->
+      Alcotest.failf "d11_allow: expected exactly 1 stale finding, got %d"
+        (List.length fs)
+
 (* ---------------------------------------------------------------- *)
 (* D10: stale-suppression reporting. *)
 
@@ -217,6 +274,50 @@ let test_stale_allow () =
   in
   Alcotest.(check int) "out-of-scope suppressions are not stale" 0
     (List.length (Lint.stale_findings ~in_scope:typed_only ~allow tracker))
+
+(* ---------------------------------------------------------------- *)
+(* The rule table must read the same everywhere it is rendered: the
+   --rules subcommand, the SARIF driver block, and DESIGN.md's table. *)
+
+let test_rules_table_sync () =
+  let table = Lint.rules_table () in
+  let sarif = Sarif.render [] in
+  let design = read_file "../../../DESIGN.md" in
+  List.iter
+    (fun r ->
+      let id = Lint.rule_id r and name = Lint.rule_name r in
+      Alcotest.(check bool) (id ^ " row in --rules table") true
+        (contains table (id ^ " ") && contains table name);
+      Alcotest.(check bool) (id ^ " pass column in --rules table") true
+        (contains table (Lint.rule_pass r));
+      Alcotest.(check bool) (id ^ " in SARIF rule table") true
+        (contains sarif ("\"id\": \"" ^ id ^ "\""));
+      Alcotest.(check bool) (id ^ " row in DESIGN.md") true
+        (contains design ("| " ^ id ^ " | `" ^ name ^ "` |")))
+    Lint.all_rules
+
+(* ---------------------------------------------------------------- *)
+(* The installed executable: --rules output, and the hard error on a
+   cmt directory that contains no cmts (a silently-empty typed pass used
+   to exit 0 and vacuously pass the gate). *)
+
+let exe = "../dynlint.exe"
+
+let test_exe_rules () =
+  let out = Filename.temp_file "dynlint_rules" ".txt" in
+  let rc = Sys.command (Printf.sprintf "%s --rules > %s" exe (Filename.quote out)) in
+  Alcotest.(check int) "--rules exits 0" 0 rc;
+  let printed = read_file out in
+  Sys.remove out;
+  Alcotest.(check string) "--rules prints the live table"
+    (Lint.rules_table ()) printed
+
+let test_exe_empty_cmt () =
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s --cmt no_such_dir fixtures 2> /dev/null" exe)
+  in
+  Alcotest.(check int) "missing/empty --cmt dir is exit 2" 2 rc
 
 (* ---------------------------------------------------------------- *)
 (* SARIF output. *)
@@ -315,6 +416,13 @@ let () =
           Alcotest.test_case "rng taint (D9)" `Quick test_d9;
           Alcotest.test_case "stale suppressions (D10)" `Quick
             test_stale_allow;
+          Alcotest.test_case "zero-alloc (D11)" `Quick test_d11;
+          Alcotest.test_case "cross-module call (D11)" `Quick
+            test_d11_cross_module;
+          Alcotest.test_case "assume escape hatch (D11)" `Quick
+            test_d11_assume;
+          Alcotest.test_case "inline allow + stale (D11)" `Quick
+            test_d11_allow;
         ] );
       ( "gates",
         [
@@ -326,6 +434,11 @@ let () =
       ( "output",
         [
           Alcotest.test_case "finding format" `Quick test_report_format;
+          Alcotest.test_case "rule table in sync everywhere" `Quick
+            test_rules_table_sync;
+          Alcotest.test_case "exe --rules" `Quick test_exe_rules;
+          Alcotest.test_case "exe rejects cmt-less dir" `Quick
+            test_exe_empty_cmt;
           Alcotest.test_case "sarif golden" `Quick test_sarif_golden;
           Alcotest.test_case "sarif structure" `Quick test_sarif_structure;
           Alcotest.test_case "clean tree is silent" `Quick test_clean_tree;
