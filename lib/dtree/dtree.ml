@@ -93,7 +93,7 @@ let alloc t =
   t.degree.(v) <- 0;
   Bytes.set t.state v '\001';
   v
-  [@@dynlint.zero_alloc]
+  [@@dynlint.zero_alloc] [@@dynlint.pool_acquire]
 
 let free_slot t v =
   Bytes.set t.state v '\002';
@@ -106,7 +106,7 @@ let free_slot t v =
     t.free_head <- v
   end
   else t.next_sibling.(v) <- nil
-  [@@dynlint.zero_alloc]
+  [@@dynlint.zero_alloc] [@@dynlint.pool_release]
 
 let create ?(reuse_ids = false) () =
   let t =
@@ -128,6 +128,7 @@ let create ?(reuse_ids = false) () =
       port_counter = 0;
     }
   in
+  (* dynlint: allow pool-discipline — the root slot is never freed *)
   ignore (alloc t : node);
   t
 
@@ -205,6 +206,7 @@ let add_internal t ~above =
   t.parent.(u) <- p;
   t.prev_sibling.(u) <- prev;
   t.next_sibling.(u) <- next;
+  (* dynlint: allow pool-discipline — arena ids live in the tree's columns *)
   if prev <> nil then t.next_sibling.(prev) <- u else t.first_child.(p) <- u;
   if next <> nil then t.prev_sibling.(next) <- u;
   t.first_child.(u) <- above;

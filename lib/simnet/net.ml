@@ -43,6 +43,7 @@ type t = {
   dummy : cell;  (* fills empty queue slots and pool growth *)
   mutable pool : cell array;  (* free list of released cells *)
   mutable pool_n : int;
+  mutable minted : int;  (* cells ever put into circulation; see pool_check *)
   sink : Telemetry.Sink.t option;
   mutable clock : int;
   mutable send_seq : int;
@@ -96,6 +97,7 @@ let create ?(seed = 0x5EED) ?(max_delay = 8) ?scheduler ?sink ~tree () =
     dummy = fresh_cell ();
     pool = [||];
     pool_n = 0;
+    minted = 0;
     sink;
     clock = 0;
     send_seq = 0;
@@ -159,6 +161,12 @@ let ensure_link_capacity t =
     grow_link_tables t n
   [@@dynlint.zero_alloc]
 
+(* The dummies filling empty queue slots and pool growth are not counted:
+   [minted] is exactly the cells that circulate through acquire/release. *)
+let mint_cell t =
+  t.minted <- t.minted + 1;
+  fresh_cell ()
+
 let acquire t =
   if t.pool_n > 0 then begin
     let n = t.pool_n - 1 in
@@ -167,8 +175,8 @@ let acquire t =
   end
   else
     (* dynlint: allow zero-alloc — pool miss mints the cell the pool keeps *)
-    fresh_cell ()
-  [@@dynlint.zero_alloc]
+    mint_cell t
+  [@@dynlint.zero_alloc] [@@dynlint.pool_acquire]
 
 let grow_pool t =
   let bigger = Array.make (max 16 (2 * t.pool_n)) t.dummy in
@@ -187,7 +195,42 @@ let release t c =
     grow_pool t;
   t.pool.(t.pool_n) <- c;
   t.pool_n <- t.pool_n + 1
-  [@@dynlint.zero_alloc]
+  [@@dynlint.zero_alloc] [@@dynlint.pool_release]
+
+(* Pool conservation check, for tests and debug assertions: every cell
+   this net ever minted is accounted for — in flight in the event queue or
+   parked in the pool — and parked cells retain nothing from the message
+   they carried. Safe to call from inside a delivery continuation or a
+   scheduled action: the cell being run is released before its closure is
+   invoked. *)
+let pool_check t =
+  let in_flight = Event_queue.size t.events in
+  if in_flight + t.pool_n <> t.minted then
+    Error
+      (Printf.sprintf
+         "Net.pool_check: %d cell(s) minted but %d in flight + %d pooled"
+         t.minted in_flight t.pool_n)
+  else begin
+    let bad = ref None in
+    for i = 0 to t.pool_n - 1 do
+      let c = t.pool.(i) in
+      if
+        !bad = None
+        && not
+             (c.c_k == ignore_node && c.c_act == ignore_unit
+             && c.c_ctx == Telemetry.Event.no_ctx
+             && not c.c_is_action)
+      then bad := Some i
+    done;
+    match !bad with
+    | Some i ->
+        Error
+          (Printf.sprintf
+             "Net.pool_check: pooled cell %d retains message state (not \
+              scrubbed)"
+             i)
+    | None -> Ok ()
+  end
 
 (* Cold traced-send path: mint the message's span — a fresh id, parented
    on the ambient span (the delivery continuation or scheduled action
@@ -366,7 +409,7 @@ let deliver t c =
       (* dynlint: allow zero-alloc — traced runs pay for their telemetry *)
       trace_deliver t s ~ctx ~src ~target ~tag_i ~sseq
         ~forwarded:(r <> anode) ~reordered k
-  [@@dynlint.zero_alloc]
+  [@@dynlint.zero_alloc] [@@dynlint.transfers_ownership]
 
 let step t =
   if Event_queue.is_empty t.events then false

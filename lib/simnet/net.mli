@@ -131,6 +131,15 @@ val run : t -> unit
 val step : t -> bool
 (** Execute one event; false if none remain. *)
 
+val pool_check : t -> (unit, string) result
+(** Verify the cell-pool conservation invariant: every cell the network
+    ever minted is either in flight in the event queue or parked in the
+    free pool, and parked cells are fully scrubbed (no retained closure,
+    span context, or action flag). Safe to call at any point user code can
+    run — including from inside a delivery continuation or a scheduled
+    action, whose cell is released before the closure is invoked. [Error]
+    carries a description of the first violation. *)
+
 val now : t -> int
 
 val node_deleted : t -> node -> parent:node -> unit

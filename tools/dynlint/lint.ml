@@ -10,6 +10,8 @@ type rule =
   | Rng_taint
   | Zero_alloc
   | Stale_allow
+  | Pool_discipline
+  | Message_flow
 
 let rule_id = function
   | Global_state -> "D1"
@@ -23,6 +25,8 @@ let rule_id = function
   | Rng_taint -> "D9"
   | Stale_allow -> "D10"
   | Zero_alloc -> "D11"
+  | Pool_discipline -> "D12"
+  | Message_flow -> "D13"
 
 let rule_name = function
   | Global_state -> "global-state"
@@ -36,6 +40,8 @@ let rule_name = function
   | Rng_taint -> "rng-taint"
   | Stale_allow -> "stale-allow"
   | Zero_alloc -> "zero-alloc"
+  | Pool_discipline -> "pool-discipline"
+  | Message_flow -> "message-flow"
 
 let rule_help = function
   | Global_state ->
@@ -71,18 +77,32 @@ let rule_help = function
        any non-raising path: no closures, tuples, records, boxed floats, \
        refs, partial applications, polymorphic compares, or calls into \
        functions not themselves proven or assumed zero-alloc."
+  | Pool_discipline ->
+      "A value acquired from a [@@dynlint.pool_acquire] function must be \
+       released exactly once on every path, including exception paths: a \
+       leaked or double-released cell silently corrupts the pool. Hand-offs \
+       go through [@dynlint.transfers_ownership] functions or a tail return."
+  | Message_flow ->
+      "Every constructor of a variant tag universe must have at least one \
+       Net.send site and at least one installed delivery continuation: an \
+       orphan or unreceivable tag is a protocol hole no runtime test walks."
 
 let all_rules =
   [
     Global_state; Ambient; Poly_compare; Unsafe; Mli; Stdout; Parallel_race;
-    Protocol; Rng_taint; Stale_allow; Zero_alloc;
+    Protocol; Rng_taint; Stale_allow; Zero_alloc; Pool_discipline;
+    Message_flow;
   ]
 
-(* Which phase of the tool owns the rule — the `--rules` table prints it and
-   the driver's D10 in_scope gating mirrors it. *)
+(* Which phase of the tool owns the rule — the `--rules` table prints it,
+   the driver's per-pass timing summary uses the same names, and the D10
+   in_scope gating mirrors it. *)
 let rule_pass = function
   | Global_state | Ambient | Poly_compare | Unsafe | Mli | Stdout -> "parsetree"
-  | Parallel_race | Protocol | Rng_taint | Zero_alloc -> "typedtree"
+  | Parallel_race | Protocol | Rng_taint -> "typedtree"
+  | Zero_alloc -> "alloc"
+  | Pool_discipline -> "pool"
+  | Message_flow -> "flow"
   | Stale_allow -> "driver"
 
 (* The `dynlint --rules` table: one line per rule. Kept as data (not
@@ -103,12 +123,23 @@ let rules_table () =
 
 let rule_of_name s = List.find_opt (fun r -> rule_name r = s) all_rules
 
+(* A secondary location attached to a finding: D12 links the acquire site
+   to the path that leaks it, D13 links the universe declaration to its
+   orphan constructor. Rendered as SARIF relatedLocations. *)
+type related = {
+  r_file : string;
+  r_line : int;
+  r_col : int;
+  r_msg : string;
+}
+
 type finding = {
   file : string;
   line : int;
   col : int;
   rule : rule;
   msg : string;
+  related : related list;
 }
 
 let finding_to_string f =
@@ -295,6 +326,7 @@ let stale_findings ?(in_scope = fun _ -> true) ~allow tracker =
               line = e.aline;
               col = 0;
               rule = Stale_allow;
+              related = [];
               msg =
                 Printf.sprintf
                   "allow entry \"%s %s\" suppresses nothing; delete it or mark \
@@ -315,6 +347,7 @@ let stale_findings ?(in_scope = fun _ -> true) ~allow tracker =
               line;
               col = 0;
               rule = Stale_allow;
+              related = [];
               msg =
                 Printf.sprintf
                   "inline \"dynlint: allow %s\" suppresses nothing on this or \
@@ -445,7 +478,8 @@ let lint_structure ?(allow = no_allow) ?tracker ~ctx ~path ~lines str =
     if
       (not (line_allowed ?tracker ~file:path lines rule line))
       && not (file_allowed ?tracker allow rule path)
-    then findings := { file = path; line; col; rule; msg } :: !findings
+    then
+      findings := { file = path; line; col; rule; msg; related = [] } :: !findings
   in
   (* D1: scan a top-level binding's RHS, stopping at function boundaries —
      allocation inside a function body happens per call, not at module
@@ -559,6 +593,7 @@ let lint_file ?(allow = no_allow) ?tracker ?display ~ctx path =
           col;
           rule = Unsafe;
           msg = "file does not parse: " ^ detail;
+          related = [];
         };
       ]
 
@@ -600,6 +635,7 @@ let check_mli ?(allow = no_allow) ?tracker ?display path =
               msg =
                 "missing interface " ^ Filename.basename mli
                 ^ ": every lib module declares its surface";
+              related = [];
             }
 
 (* ------------------------------------------------------------------ *)
@@ -650,3 +686,77 @@ let lint_tree ?(allow = no_allow) ?tracker ~root dirs =
       files
   in
   List.sort compare_findings findings
+
+(* ------------------------------------------------------------------ *)
+(* the shared typed-pass emitter                                       *)
+
+(* Every typed pass (D7-D9 scan, D11 alloc, D12 pool, D13 flow) emits
+   through one of these: it owns the allow-file and inline-allow
+   suppression (sharing the tracker for D10 staleness), caches source
+   lines so each linted source is read once across all passes, and
+   accumulates the surviving findings. *)
+type emitter = {
+  em_allow : allow;
+  em_tracker : tracker option;
+  em_source_root : string;
+  em_lines : (string, string array option) Hashtbl.t;
+  mutable em_findings : finding list;
+}
+
+let make_emitter ?(allow = no_allow) ?tracker ?(source_root = ".") () =
+  {
+    em_allow = allow;
+    em_tracker = tracker;
+    em_source_root = source_root;
+    em_lines = Hashtbl.create 16;
+    em_findings = [];
+  }
+
+(* Lines of a linted source, for inline-allow suppression; registering its
+   allow sites with the tracker on first touch. Sources that cannot be
+   found (a cmt linted outside its workspace) fall back to allow-file-only
+   suppression. *)
+let emitter_touch_source em file =
+  match Hashtbl.find_opt em.em_lines file with
+  | Some l -> l
+  | None ->
+      let l =
+        let p = Filename.concat em.em_source_root file in
+        if Sys.file_exists p then (
+          let lines = source_lines p in
+          scan_inline_allows ?tracker:em.em_tracker ~file lines;
+          Some lines)
+        else None
+      in
+      Hashtbl.add em.em_lines file l;
+      l
+
+let emit ?(related = []) em rule (loc : Location.t) msg =
+  let p = loc.loc_start in
+  let f =
+    {
+      file = p.pos_fname;
+      line = p.pos_lnum;
+      col = p.pos_cnum - p.pos_bol;
+      rule;
+      msg;
+      related;
+    }
+  in
+  if not (file_allowed ?tracker:em.em_tracker em.em_allow rule f.file) then
+    match emitter_touch_source em f.file with
+    | Some lines
+      when line_allowed ?tracker:em.em_tracker ~file:f.file lines rule f.line ->
+        ()
+    | _ -> em.em_findings <- f :: em.em_findings
+
+let related_of_loc ?(msg = "") (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    r_file = p.pos_fname;
+    r_line = p.pos_lnum;
+    r_col = p.pos_cnum - p.pos_bol;
+    r_msg = msg;
+  }
+
+let emitter_findings em = List.sort_uniq Stdlib.compare em.em_findings

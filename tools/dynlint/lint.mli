@@ -45,6 +45,16 @@
       [[@@dynlint.zero_alloc]] is conservatively verified to allocate
       nothing on any non-raising path; [[@@dynlint.zero_alloc assume]]
       vouches for externals and wrappers the checker cannot see into.
+    - [D12 pool-discipline] (typed, {!Lint_pool}): every value acquired
+      from a [[@@dynlint.pool_acquire]] function is released exactly once
+      on every path, exception paths included; leaks, double releases and
+      escapes (module state, closures, containers) are findings.
+      [[@dynlint.transfers_ownership]] marks functions that legitimately
+      hand the value onward.
+    - [D13 message-flow] (typed, {!Lint_flow}): every constructor of a
+      variant [[@@dynlint.tag_universe]] must have at least one [Net.send]
+      site and at least one installed delivery continuation; the
+      reconstructed send/receive graph is emitted via [dynlint --graph].
 
     {2 Allowlisting}
 
@@ -67,17 +77,19 @@ type rule =
   | Parallel_race  (** D7, typedtree pass *)
   | Protocol  (** D8, typedtree pass *)
   | Rng_taint  (** D9, typedtree pass *)
-  | Zero_alloc  (** D11, typedtree pass *)
+  | Zero_alloc  (** D11, alloc pass *)
   | Stale_allow  (** D10, driver *)
+  | Pool_discipline  (** D12, pool pass *)
+  | Message_flow  (** D13, flow pass *)
 
 val rule_id : rule -> string
-(** ["D1"] .. ["D11"]. *)
+(** ["D1"] .. ["D13"]. *)
 
 val rule_name : rule -> string
 (** The allowlist token: ["global-state"], ["ambient"], ["poly-compare"],
     ["unsafe"], ["mli"], ["stdout"], ["parallel-race"],
     ["protocol-conformance"], ["rng-taint"], ["stale-allow"],
-    ["zero-alloc"]. *)
+    ["zero-alloc"], ["pool-discipline"], ["message-flow"]. *)
 
 val rule_help : rule -> string
 (** One-sentence rationale, used as the SARIF rule description. *)
@@ -86,7 +98,10 @@ val all_rules : rule list
 (** Every rule, in id order. *)
 
 val rule_pass : rule -> string
-(** Which phase owns the rule: ["parsetree"], ["typedtree"] or ["driver"]. *)
+(** Which phase owns the rule: ["parsetree"] (D1-D6), ["typedtree"]
+    (D7-D9), ["alloc"] (D11), ["pool"] (D12), ["flow"] (D13) or
+    ["driver"] (D10). The driver's per-pass timing summary uses the same
+    names. *)
 
 val rules_table : unit -> string
 (** The [dynlint --rules] listing: a header line plus one line per rule
@@ -94,12 +109,23 @@ val rules_table : unit -> string
 
 val rule_of_name : string -> rule option
 
+type related = {
+  r_file : string;
+  r_line : int;
+  r_col : int;
+  r_msg : string;
+}
+(** A secondary location attached to a finding: D12 links the acquire site
+    to the path that leaks it, D13 links the universe declaration to its
+    orphan constructor. Rendered as SARIF [relatedLocations]. *)
+
 type finding = {
   file : string;
   line : int;
   col : int;
   rule : rule;
   msg : string;
+  related : related list;
 }
 
 val finding_to_string : finding -> string
@@ -186,3 +212,33 @@ val lint_tree :
     classification, and apply {!check_mli} to lib files. [_build], [.git]
     and hidden directories are skipped. Findings are sorted by
     (file, line, col). *)
+
+type emitter
+(** The shared finding sink of the typed passes: owns allow-file and
+    inline-allow suppression (sharing the tracker for D10 staleness),
+    caches source lines so each linted source is read once across every
+    pass, and accumulates the surviving findings. Make one, hand it to
+    {!Lint_typed.scan_units}, {!Lint_typed.alloc_units},
+    {!Lint_pool.lint_units} and {!Lint_flow} in turn, then collect with
+    {!emitter_findings}. *)
+
+val make_emitter :
+  ?allow:allow -> ?tracker:tracker -> ?source_root:string -> unit -> emitter
+(** [source_root] (default ["."]) prefixes the workspace-relative source
+    paths recorded in cmts when reading sources for inline-allow
+    suppression. *)
+
+val emit : ?related:related list -> emitter -> rule -> Location.t -> string -> unit
+(** Record one finding at a typedtree location unless an allow-file entry
+    or inline allow comment suppresses it. *)
+
+val emitter_touch_source : emitter -> string -> string array option
+(** Read (and cache) a linted source's lines, registering its inline allow
+    sites with the tracker — call for every scanned unit so finding-free
+    files still report stale allows. [None] when the source is missing. *)
+
+val related_of_loc : ?msg:string -> Location.t -> related
+(** Build a {!related} entry from a typedtree location. *)
+
+val emitter_findings : emitter -> finding list
+(** Everything emitted so far, sorted and deduplicated. *)

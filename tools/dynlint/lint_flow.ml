@@ -1,0 +1,747 @@
+(* D13 message-flow: the cross-module send/receive graph.
+
+   The protocol's tag vocabulary is a variant whose renderer carries
+   [@@dynlint.tag_universe] (Dist.suffix_to_string); D8 already polices the
+   *string* boundary. D13 closes the structural gap: every constructor of
+   such a universe must have at least one [Net.send]/[send_to]/[send_up]
+   site whose [~tag] argument statically mentions it, and at least one of
+   those sites must install a real delivery continuation. A constructor
+   with no send site is an orphan protocol arm — declared, rendered,
+   counted in bit budgets, but unreachable by any execution. A constructor
+   whose every send drops its continuation ([ignore]) can be emitted but
+   never observed. Both are protocol holes no runtime test walks, so they
+   are findings.
+
+   The same reconstruction is exported as an artifact: [dynlint --graph
+   FILE.dot|FILE.json] renders senders -> tag constructors -> receivers,
+   the paper's (M,W)-controller message diagram recovered from the code
+   itself. The JSON form round-trips through {!of_json} (a minimal
+   hand-rolled parser: this tool depends on compiler-libs only) so other
+   tooling can consume it.
+
+   Resolution is syntactic over the typedtree: the first constructor of a
+   universe type occurring inside the [~tag] argument names the edge; the
+   last unlabelled arrow-typed argument is the receiver (a record field
+   access names the continuation slot, [ignore] means dropped). A send
+   whose tag carries neither a universe constructor nor a string literal
+   (D8's domain) resolves to nothing and is flagged — but only when some
+   universe is declared, so string-protocol codebases are untouched. *)
+
+open Typedtree
+
+(* ---------- path normalization (same scheme as Lint_typed) ---------- *)
+
+let split_dunder s =
+  let n = String.length s in
+  let rec go acc start i =
+    if i + 1 >= n then List.rev (String.sub s start (n - start) :: acc)
+    else if s.[i] = '_' && s.[i + 1] = '_' then
+      go (String.sub s start (i - start) :: acc) (i + 2) (i + 2)
+    else go acc start (i + 1)
+  in
+  if n = 0 then [ s ] else go [] 0 0
+
+let rec path_components acc = function
+  | Path.Pident id -> Ident.name id :: acc
+  | Path.Pdot (p, s) -> path_components (s :: acc) p
+  | Path.Papply (p, _) -> path_components acc p
+  | Path.Pextra_ty (p, _) -> path_components acc p
+
+let norm_path p = List.concat_map split_dunder (path_components [] p)
+let drop_stdlib = function "Stdlib" :: (_ :: _ as rest) -> rest | c -> c
+
+(* ---------- the public graph ---------- *)
+
+type arm = {
+  a_ctor : string;
+  a_wire : string option;  (* the renderer's string for this arm *)
+  a_file : string;
+  a_line : int;
+}
+
+type universe = {
+  u_key : string;  (* "Dist.suffix": owning unit + type name *)
+  u_unit : string;
+  u_file : string;
+  u_line : int;
+  u_arms : arm list;
+}
+
+type edge = {
+  e_universe : string;
+  e_ctor : string;
+  e_sender : string;  (* "Unit.innermost-enclosing-binding" *)
+  e_receiver : string option;  (* None: the continuation is dropped *)
+  e_file : string;
+  e_line : int;
+}
+
+type graph = { g_universes : universe list; g_edges : edge list }
+
+(* ---------- internal, location-carrying forms ---------- *)
+
+type iarm = { ia_ctor : string; ia_wire : string option; ia_loc : Location.t }
+
+type iuniv = {
+  iu_key : string;
+  iu_unit : string;
+  iu_loc : Location.t;
+  iu_arms : iarm list;
+}
+
+type iedge = {
+  ie_universe : string;
+  ie_ctor : string;
+  ie_sender : string;
+  ie_receiver : string option;
+  ie_loc : Location.t;
+}
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.pos_fname, loc.loc_start.pos_lnum)
+
+(* ---------- universe harvesting ---------- *)
+
+let universe_attr = "dynlint.tag_universe"
+
+let has_universe_attr (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = universe_attr)
+    attrs
+
+(* "Dist.suffix" from a constructor's result type: a [Pident] names a type
+   of the current unit, a [Pdot] keeps its last two components. *)
+let type_key ~unit_name (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+      match List.rev (drop_stdlib (norm_path p)) with
+      | ty_name :: m :: _ -> Some (m ^ "." ^ ty_name)
+      | [ ty_name ] -> Some (unit_name ^ "." ^ ty_name)
+      | [] -> None)
+  | _ -> None
+
+let rec ctors_of_pat : type k. k general_pattern -> (Types.constructor_description * Location.t) list =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_construct (_, cd, _, _) -> [ (cd, p.pat_loc) ]
+  | Tpat_value v -> ctors_of_pat (v :> value general_pattern)
+  | Tpat_alias (q, _, _) -> ctors_of_pat q
+  | Tpat_or (a, b, _) -> ctors_of_pat a @ ctors_of_pat b
+  | _ -> []
+
+let first_string e =
+  let found = ref None in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_constant (Asttypes.Const_string (s, _, _)) when !found = None ->
+              found := Some s
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* The arms of a variant renderer: a multi-case [function], or parameters
+   followed by a [match] on the last one. *)
+let rec renderer_arms e =
+  match e.exp_desc with
+  | Texp_function { cases = [ { c_lhs; c_guard = None; c_rhs; _ } ]; _ } -> (
+      match (c_lhs.pat_desc, c_rhs.exp_desc) with
+      | (Tpat_var _ | Tpat_alias _ | Tpat_any), Texp_match (_, cases, _) ->
+          List.concat_map
+            (fun c ->
+              List.map (fun cl -> (cl, first_string c.c_rhs)) (ctors_of_pat c.c_lhs))
+            cases
+      | _ -> renderer_arms c_rhs)
+  | Texp_function { cases; _ } ->
+      List.concat_map
+        (fun c ->
+          List.map (fun cl -> (cl, first_string c.c_rhs)) (ctors_of_pat c.c_lhs))
+        cases
+  | _ -> []
+
+let harvest_universes (units : Cmt_load.unit_info list) =
+  let univs = ref [] in
+  List.iter
+    (fun (u : Cmt_load.unit_info) ->
+      let it =
+        {
+          Tast_iterator.default_iterator with
+          structure_item =
+            (fun self item ->
+              (match item.str_desc with
+              | Tstr_value (_, vbs) ->
+                  List.iter
+                    (fun vb ->
+                      if has_universe_attr vb.vb_attributes then
+                        match renderer_arms vb.vb_expr with
+                        | [] -> ()  (* string-form universe: D8's domain *)
+                        | ((cd0, _), _) :: _ as arms -> (
+                            match type_key ~unit_name:u.ui_name cd0.Types.cstr_res with
+                            | None -> ()
+                            | Some key ->
+                                univs :=
+                                  {
+                                    iu_key = key;
+                                    iu_unit = u.ui_name;
+                                    iu_loc = vb.vb_pat.pat_loc;
+                                    iu_arms =
+                                      List.map
+                                        (fun ((cd, loc), wire) ->
+                                          {
+                                            ia_ctor = cd.Types.cstr_name;
+                                            ia_wire = wire;
+                                            ia_loc = loc;
+                                          })
+                                        arms;
+                                  }
+                                  :: !univs))
+                    vbs
+              | _ -> ());
+              Tast_iterator.default_iterator.structure_item self item);
+        }
+      in
+      it.structure it u.ui_str)
+    units;
+  List.rev !univs
+
+(* ---------- send-site collection ---------- *)
+
+let is_send_head comps =
+  match List.rev comps with
+  | f :: m :: _ -> m = "Net" && List.mem f [ "send"; "send_to"; "send_up" ]
+  | _ -> false
+
+let is_arrow_ty ty =
+  match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+(* The first constructor of a declared universe type inside the [~tag]
+   argument names the tag this send carries. *)
+let resolve_tag ~unit_name ~keys e =
+  let found = ref None in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_construct (_, cd, _) when !found = None -> (
+              match type_key ~unit_name cd.Types.cstr_res with
+              | Some key when List.mem key keys ->
+                  found := Some (key, cd.Types.cstr_name)
+              | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let receiver_of e =
+  match e.exp_desc with
+  | Texp_field (_, _, ld) -> Some ld.lbl_name
+  | Texp_ident (p, _, _) -> (
+      match List.rev (drop_stdlib (norm_path p)) with
+      | f :: _
+        when f = "ignore"
+             || (String.length f > 7 && String.sub f 0 7 = "ignore_") ->
+          None
+      | f :: _ -> Some f
+      | [] -> Some "<expr>")
+  | Texp_function _ -> Some "<fun>"
+  | _ -> Some "<expr>"
+
+let collect_sends ~keys (u : Cmt_load.unit_info) =
+  let edges = ref [] and unresolved = ref [] in
+  let current = ref u.ui_name in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      value_binding =
+        (fun self vb ->
+          match vb.vb_pat.pat_desc with
+          | Tpat_var (id, _) | Tpat_alias (_, id, _) ->
+              let saved = !current in
+              current := u.ui_name ^ "." ^ Ident.name id;
+              Tast_iterator.default_iterator.value_binding self vb;
+              current := saved
+          | _ -> Tast_iterator.default_iterator.value_binding self vb);
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+            when is_send_head (drop_stdlib (norm_path p)) -> (
+              let tag_arg =
+                List.find_map
+                  (function
+                    | Asttypes.Labelled "tag", Some a -> Some a | _ -> None)
+                  args
+              in
+              let receiver =
+                List.fold_left
+                  (fun acc -> function
+                    | Asttypes.Nolabel, Some a when is_arrow_ty a.exp_type ->
+                        Some a
+                    | _ -> acc)
+                  None args
+              in
+              match tag_arg with
+              | None -> ()
+              | Some ta -> (
+                  match resolve_tag ~unit_name:u.ui_name ~keys ta with
+                  | Some (key, ctor) ->
+                      edges :=
+                        {
+                          ie_universe = key;
+                          ie_ctor = ctor;
+                          ie_sender = !current;
+                          ie_receiver =
+                            (match receiver with
+                            | Some r -> receiver_of r
+                            | None -> None);
+                          ie_loc = e.exp_loc;
+                        }
+                        :: !edges
+                  | None ->
+                      (* a string-literal tag is D8's business *)
+                      if first_string ta = None then
+                        unresolved := e.exp_loc :: !unresolved))
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it u.ui_str;
+  (List.rev !edges, List.rev !unresolved)
+
+(* ---------- build + findings ---------- *)
+
+let collect units =
+  let univs = harvest_universes units in
+  let keys = List.map (fun u -> u.iu_key) univs in
+  let edges, unresolved =
+    List.fold_left
+      (fun (es, us) u ->
+        let e, r = collect_sends ~keys u in
+        (es @ e, us @ r))
+      ([], []) units
+  in
+  (univs, edges, unresolved)
+
+let graph_of (univs, edges, _) =
+  {
+    g_universes =
+      List.map
+        (fun iu ->
+          let file, line = pos_of iu.iu_loc in
+          {
+            u_key = iu.iu_key;
+            u_unit = iu.iu_unit;
+            u_file = file;
+            u_line = line;
+            u_arms =
+              List.map
+                (fun ia ->
+                  let file, line = pos_of ia.ia_loc in
+                  {
+                    a_ctor = ia.ia_ctor;
+                    a_wire = ia.ia_wire;
+                    a_file = file;
+                    a_line = line;
+                  })
+                iu.iu_arms;
+          })
+        univs;
+    g_edges =
+      List.map
+        (fun ie ->
+          let file, line = pos_of ie.ie_loc in
+          {
+            e_universe = ie.ie_universe;
+            e_ctor = ie.ie_ctor;
+            e_sender = ie.ie_sender;
+            e_receiver = ie.ie_receiver;
+            e_file = file;
+            e_line = line;
+          })
+        edges;
+  }
+
+let build units = graph_of (collect units)
+
+let lint_units ~emitter units =
+  let ((univs, edges, unresolved) as all) = collect units in
+  List.iter
+    (fun iu ->
+      List.iter
+        (fun ia ->
+          let arm_edges =
+            List.filter
+              (fun ie -> ie.ie_universe = iu.iu_key && ie.ie_ctor = ia.ia_ctor)
+              edges
+          in
+          match arm_edges with
+          | [] ->
+              Lint.emit
+                ~related:
+                  [
+                    Lint.related_of_loc ~msg:"tag universe declared here"
+                      iu.iu_loc;
+                  ]
+                emitter Lint.Message_flow ia.ia_loc
+                (Printf.sprintf
+                   "constructor %s of tag universe %s has no Net.send site: an orphan protocol arm no execution reaches"
+                   ia.ia_ctor iu.iu_key)
+          | first :: _ ->
+              if List.for_all (fun ie -> ie.ie_receiver = None) arm_edges then
+                Lint.emit
+                  ~related:
+                    [
+                      Lint.related_of_loc
+                        ~msg:
+                          (Printf.sprintf "constructor %s declared here"
+                             ia.ia_ctor)
+                        ia.ia_loc;
+                    ]
+                  emitter Lint.Message_flow first.ie_loc
+                  (Printf.sprintf
+                     "every send of %s.%s drops its continuation: the tag has no reachable receiver"
+                     iu.iu_key ia.ia_ctor))
+        iu.iu_arms)
+    univs;
+  if univs <> [] then
+    List.iter
+      (fun loc ->
+        Lint.emit emitter Lint.Message_flow loc
+          "the ~tag argument of this send mentions no declared tag-universe constructor (and no string literal): the protocol graph cannot account for it")
+      unresolved;
+  graph_of all
+
+(* ---------- JSON ---------- *)
+
+let buf_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_json g =
+  let buf = Buffer.create 4096 in
+  let str s = buf_add_json_string buf s in
+  let sep first = if not first then Buffer.add_char buf ',' in
+  Buffer.add_string buf "{\"universes\":[";
+  List.iteri
+    (fun i u ->
+      sep (i = 0);
+      Buffer.add_string buf "{\"key\":";
+      str u.u_key;
+      Buffer.add_string buf ",\"unit\":";
+      str u.u_unit;
+      Buffer.add_string buf ",\"file\":";
+      str u.u_file;
+      Buffer.add_string buf (Printf.sprintf ",\"line\":%d,\"arms\":[" u.u_line);
+      List.iteri
+        (fun j a ->
+          sep (j = 0);
+          Buffer.add_string buf "{\"ctor\":";
+          str a.a_ctor;
+          Buffer.add_string buf ",\"wire\":";
+          (match a.a_wire with None -> Buffer.add_string buf "null" | Some w -> str w);
+          Buffer.add_string buf ",\"file\":";
+          str a.a_file;
+          Buffer.add_string buf (Printf.sprintf ",\"line\":%d}" a.a_line))
+        u.u_arms;
+      Buffer.add_string buf "]}")
+    g.g_universes;
+  Buffer.add_string buf "],\"edges\":[";
+  List.iteri
+    (fun i e ->
+      sep (i = 0);
+      Buffer.add_string buf "{\"universe\":";
+      str e.e_universe;
+      Buffer.add_string buf ",\"ctor\":";
+      str e.e_ctor;
+      Buffer.add_string buf ",\"sender\":";
+      str e.e_sender;
+      Buffer.add_string buf ",\"receiver\":";
+      (match e.e_receiver with
+      | None -> Buffer.add_string buf "null"
+      | Some r -> str r);
+      Buffer.add_string buf ",\"file\":";
+      str e.e_file;
+      Buffer.add_string buf (Printf.sprintf ",\"line\":%d}" e.e_line))
+    g.g_edges;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+(* A minimal JSON reader — objects, arrays, strings (with the escapes the
+   writer produces plus \uXXXX for ASCII), integers, null, booleans. This
+   tool links compiler-libs only, so no JSON library to lean on. *)
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !i)) in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let skip_ws () =
+    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr i
+    done
+  in
+  let expect c =
+    if !i < n && s.[!i] = c then incr i
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !i + l <= n && String.sub s !i l = word then (
+      i := !i + l;
+      v)
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then fail "unterminated string"
+      else
+        match s.[!i] with
+        | '"' -> incr i
+        | '\\' ->
+            incr i;
+            (if !i >= n then fail "unterminated escape"
+             else
+               match s.[!i] with
+               | '"' -> Buffer.add_char buf '"'; incr i
+               | '\\' -> Buffer.add_char buf '\\'; incr i
+               | '/' -> Buffer.add_char buf '/'; incr i
+               | 'n' -> Buffer.add_char buf '\n'; incr i
+               | 'r' -> Buffer.add_char buf '\r'; incr i
+               | 't' -> Buffer.add_char buf '\t'; incr i
+               | 'b' -> Buffer.add_char buf '\b'; incr i
+               | 'f' -> Buffer.add_char buf '\012'; incr i
+               | 'u' ->
+                   if !i + 4 >= n then fail "truncated \\u escape";
+                   let hex = String.sub s (!i + 1) 4 in
+                   let code =
+                     try int_of_string ("0x" ^ hex)
+                     with _ -> fail "bad \\u escape"
+                   in
+                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                   else fail "non-ASCII \\u escape unsupported";
+                   i := !i + 5
+               | _ -> fail "unknown escape");
+            go ()
+        | c -> Buffer.add_char buf c; incr i; go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = Some '}' then (incr i; Jobj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr i; members ((k, v) :: acc)
+            | Some '}' -> incr i; Jobj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = Some ']' then (incr i; Jlist [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr i; items (v :: acc)
+            | Some ']' -> incr i; Jlist (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | Some '"' -> Jstr (parse_string ())
+    | Some 'n' -> literal "null" Jnull
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some ('-' | '0' .. '9') ->
+        let start = !i in
+        if peek () = Some '-' then incr i;
+        while
+          !i < n
+          && (match s.[!i] with
+             | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+             | _ -> false)
+        do
+          incr i
+        done;
+        Jnum (float_of_string (String.sub s start (!i - start)))
+    | _ -> fail "expected a JSON value"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !i <> n then fail "trailing garbage";
+  v
+
+let jfield obj k =
+  match obj with
+  | Jobj kvs -> (
+      match List.assoc_opt k kvs with
+      | Some v -> v
+      | None -> raise (Bad_json ("missing field " ^ k)))
+  | _ -> raise (Bad_json ("not an object while reading " ^ k))
+
+let jstr = function Jstr s -> s | _ -> raise (Bad_json "expected string")
+let jint = function Jnum f -> int_of_float f | _ -> raise (Bad_json "expected number")
+let jlist = function Jlist l -> l | _ -> raise (Bad_json "expected array")
+
+let jstr_opt = function
+  | Jnull -> None
+  | Jstr s -> Some s
+  | _ -> raise (Bad_json "expected string or null")
+
+let of_json text =
+  match parse_json text with
+  | exception Bad_json msg -> Error msg
+  | j -> (
+      try
+        Ok
+          {
+            g_universes =
+              List.map
+                (fun u ->
+                  {
+                    u_key = jstr (jfield u "key");
+                    u_unit = jstr (jfield u "unit");
+                    u_file = jstr (jfield u "file");
+                    u_line = jint (jfield u "line");
+                    u_arms =
+                      List.map
+                        (fun a ->
+                          {
+                            a_ctor = jstr (jfield a "ctor");
+                            a_wire = jstr_opt (jfield a "wire");
+                            a_file = jstr (jfield a "file");
+                            a_line = jint (jfield a "line");
+                          })
+                        (jlist (jfield u "arms"));
+                  })
+                (jlist (jfield j "universes"));
+            g_edges =
+              List.map
+                (fun e ->
+                  {
+                    e_universe = jstr (jfield e "universe");
+                    e_ctor = jstr (jfield e "ctor");
+                    e_sender = jstr (jfield e "sender");
+                    e_receiver = jstr_opt (jfield e "receiver");
+                    e_file = jstr (jfield e "file");
+                    e_line = jint (jfield e "line");
+                  })
+                (jlist (jfield j "edges"));
+          }
+      with Bad_json msg -> Error msg)
+
+(* ---------- DOT ---------- *)
+
+let dot_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* senders (ellipses) -> tag constructors (boxes, labelled with the wire
+   string) -> receivers (diamonds); orphan arms are drawn red. *)
+let to_dot g =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "digraph protocol {";
+  line "  rankdir=LR;";
+  line "  node [fontname=\"monospace\", fontsize=11];";
+  let tag_node u a = Printf.sprintf "%s.%s" u a in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun a ->
+          let has_edge =
+            List.exists
+              (fun e -> e.e_universe = u.u_key && e.e_ctor = a.a_ctor)
+              g.g_edges
+          in
+          let wire =
+            match a.a_wire with
+            | Some w -> "\\n\\\"" ^ dot_escape w ^ "\\\""
+            | None -> ""
+          in
+          line "  \"%s\" [shape=box,label=\"%s%s\"%s];"
+            (dot_escape (tag_node u.u_key a.a_ctor))
+            (dot_escape a.a_ctor) wire
+            (if has_edge then "" else ",color=red,fontcolor=red"))
+        u.u_arms)
+    g.g_universes;
+  let seen = Hashtbl.create 32 in
+  let once key f = if not (Hashtbl.mem seen key) then (Hashtbl.add seen key (); f ()) in
+  List.iter
+    (fun e ->
+      once ("s:" ^ e.e_sender) (fun () ->
+          line "  \"%s\" [shape=ellipse];" (dot_escape e.e_sender));
+      let tag = tag_node e.e_universe e.e_ctor in
+      once ("e:" ^ e.e_sender ^ ">" ^ tag) (fun () ->
+          line "  \"%s\" -> \"%s\";" (dot_escape e.e_sender) (dot_escape tag));
+      match e.e_receiver with
+      | None ->
+          once ("e:" ^ tag ^ ">!") (fun () ->
+              line "  \"%s\" -> \"dropped\" [style=dashed];" (dot_escape tag);
+              once "n:dropped" (fun () ->
+                  line "  \"dropped\" [shape=diamond,color=gray];"))
+      | Some r ->
+          let rn = "recv:" ^ r in
+          once ("n:" ^ rn) (fun () ->
+              line "  \"%s\" [shape=diamond,label=\"%s\"];" (dot_escape rn)
+                (dot_escape r));
+          once ("e:" ^ tag ^ ">" ^ rn) (fun () ->
+              line "  \"%s\" -> \"%s\";" (dot_escape tag) (dot_escape rn)))
+    g.g_edges;
+  line "}";
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** D13 message-flow: the send/receive graph of the tag protocol.
+
+    Variant renderers carrying [[@@dynlint.tag_universe]] declare the tag
+    vocabulary; every [Net.send]/[send_to]/[send_up] site whose [~tag]
+    argument statically mentions a universe constructor is an edge, and
+    the site's unlabelled arrow-typed argument is the installed receiver
+    (a record field access names the continuation slot, [ignore] means
+    dropped). Findings: a constructor with no send site (orphan arm), a
+    constructor whose every send drops its continuation (unreceivable),
+    and — once any universe is declared — a send whose tag carries neither
+    a universe constructor nor a string literal.
+
+    The reconstruction is also the [dynlint --graph] artifact: {!to_dot}
+    renders senders -> tags -> receivers, {!to_json}/{!of_json} round-trip
+    the graph as data for other tooling. *)
+
+type arm = {
+  a_ctor : string;
+  a_wire : string option;
+      (** the renderer's string for this arm, when one is visible *)
+  a_file : string;
+  a_line : int;
+}
+
+type universe = {
+  u_key : string;  (** ["Dist.suffix"]: owning unit + type name *)
+  u_unit : string;
+  u_file : string;
+  u_line : int;
+  u_arms : arm list;  (** every constructor, sent or not *)
+}
+
+type edge = {
+  e_universe : string;
+  e_ctor : string;
+  e_sender : string;  (** ["Unit.innermost-enclosing-binding"] *)
+  e_receiver : string option;  (** [None]: the continuation is dropped *)
+  e_file : string;
+  e_line : int;
+}
+
+type graph = { g_universes : universe list; g_edges : edge list }
+
+val build : Cmt_load.unit_info list -> graph
+(** Reconstruct the graph without emitting findings. *)
+
+val lint_units : emitter:Lint.emitter -> Cmt_load.unit_info list -> graph
+(** Reconstruct the graph and emit the D13 findings through the emitter.
+    Returns the graph so the driver can render [--graph] artifacts from
+    the same pass. *)
+
+val to_json : graph -> string
+(** One-line JSON document; {!of_json} inverts it. *)
+
+val of_json : string -> (graph, string) result
+(** Parse a {!to_json} document (minimal hand-rolled JSON reader —
+    this tool depends on compiler-libs only). *)
+
+val to_dot : graph -> string
+(** Graphviz rendering: senders (ellipses) -> tag constructors (boxes,
+    orphans red) -> receivers (diamonds). *)

@@ -1,0 +1,32 @@
+(** D12 pool-discipline: must-release dataflow over acquired pool values.
+
+    Roles are declared with attributes and harvested across every scanned
+    unit, so cross-module calls resolve:
+
+    - [[@@dynlint.pool_acquire]]: the function returns an owned value
+      (e.g. [Net.acquire], [Dtree.alloc], [Event_queue.pop_exn]).
+    - [[@@dynlint.pool_release]]: the function consumes one
+      ([Net.release], [Dtree.free_slot]).
+    - [[@@dynlint.transfers_ownership]]: the function takes the value
+      onward ([Event_queue.add]/[add_prio], [Net.deliver]); calling it
+      counts as the release.
+
+    Every [let v = acquire ...] is interpreted over its scope with the set
+    of possible consume counts [{0, 1, >=2}] as the abstract state:
+    branches union, loops unroll twice, [try] handlers are entered as if
+    the value may still be held. Findings: a path that ends or raises with
+    count 0 (leak), a consume at count [>= 1] (double release), an escape
+    into module state / a mutable field / a heap structure off the return
+    path / a closure / a container, a continuation invoked while the value
+    may still be held, and an acquire whose result is dropped unbound.
+    Tail-position returns (bare or embedded in a freshly built value) move
+    ownership to the caller and count as the release.
+
+    Findings carry {!Lint.related} links between the acquire site and the
+    leaking/escaping point, and respect the shared allowlist through the
+    {!Lint.emitter}. *)
+
+val lint_units : emitter:Lint.emitter -> Cmt_load.unit_info list -> unit
+(** Run D12 over preloaded units: harvest roles from all of them, then
+    scan each unit's bindings. Touches every unit's source through the
+    emitter so finding-free files still register inline allow sites. *)

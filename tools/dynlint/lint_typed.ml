@@ -94,15 +94,6 @@ let is_rng_type ty =
       ends_with ~suffix:[ "Rng"; "t" ] (drop_stdlib (norm_path p))
   | _ -> false
 
-let finding_of_loc rule msg (loc : Location.t) =
-  let p = loc.loc_start in
-  {
-    Lint.file = p.pos_fname;
-    line = p.pos_lnum;
-    col = p.pos_cnum - p.pos_bol;
-    rule;
-    msg;
-  }
 
 (* ---------- D7: closure-capture analysis ---------- *)
 
@@ -429,91 +420,23 @@ let scan_structure ~emit ~d8_sent ~d8_declared (str : structure) =
   it.structure it str;
   d9_structure ~emit str
 
-(* ---------- cmt loading and the pass driver ---------- *)
+(* ---------- the pass driver over preloaded units ---------- *)
 
-let collect_cmt_files dirs =
-  let acc = ref [] in
-  let rec walk d =
-    match Sys.readdir d with
-    | exception Sys_error _ -> ()
-    | entries ->
-        Array.sort compare entries;
-        Array.iter
-          (fun e ->
-            let p = Filename.concat d e in
-            if (try Sys.is_directory p with Sys_error _ -> false) then walk p
-            else if Filename.check_suffix e ".cmt" then acc := p :: !acc)
-          entries
-  in
-  List.iter
-    (fun d -> if (try Sys.is_directory d with Sys_error _ -> false) then walk d else if Sys.file_exists d then acc := d :: !acc)
-    dirs;
-  List.rev !acc
+let collect_cmt_files = Cmt_load.collect_cmt_files
 
-let lint_cmt_files ?(allow = Lint.no_allow) ?tracker ?(source_root = ".") cmts =
-  let seen_sources = Hashtbl.create 16 in
-  let findings = ref [] in
+(* D7-D9 over every unit, then the global D8 comparison. The caller loads
+   the cmts once (Cmt_load) and shares the unit list — and the emitter —
+   with the alloc/pool/flow passes. *)
+let scan_units ~emitter units =
+  let emit rule loc msg = Lint.emit emitter rule loc msg in
   let d8_sent = ref [] and d8_declared = ref [] in
-  let d11_summaries = ref [] in
-  (* Lines of each linted source, for inline-allow suppression. Sources
-     that cannot be found (e.g. a cmt linted outside its workspace) fall
-     back to allow-file-only suppression. *)
-  let lines_cache = Hashtbl.create 16 in
-  let source_lines_of file =
-    match Hashtbl.find_opt lines_cache file with
-    | Some l -> l
-    | None ->
-        let l =
-          let p = Filename.concat source_root file in
-          if Sys.file_exists p then (
-            let lines = Lint.source_lines p in
-            Lint.scan_inline_allows ?tracker ~file lines;
-            Some lines)
-          else None
-        in
-        Hashtbl.add lines_cache file l;
-        l
-  in
-  let emit rule loc msg =
-    let f = finding_of_loc rule msg loc in
-    if not (Lint.file_allowed ?tracker allow rule f.Lint.file) then
-      match source_lines_of f.Lint.file with
-      | Some lines when Lint.line_allowed ?tracker ~file:f.Lint.file lines rule f.Lint.line ->
-          ()
-      | _ -> findings := f :: !findings
-  in
   List.iter
-    (fun cmt ->
-      match Cmt_format.read_cmt cmt with
-      | exception _ -> ()
-      | info -> (
-          match (info.Cmt_format.cmt_annots, info.Cmt_format.cmt_sourcefile) with
-          | Cmt_format.Implementation str, Some src
-            when Filename.check_suffix src ".ml"
-                 && not (Hashtbl.mem seen_sources src) ->
-              Hashtbl.replace seen_sources src ();
-              (* Touch the source now so its inline allow sites register
-                 with the tracker even when the file is finding-free. *)
-              ignore (source_lines_of src);
-              scan_structure ~emit ~d8_sent ~d8_declared str;
-              (* D11 first sweep: harvest [@@dynlint.zero_alloc] summaries.
-                 The unit name is the unwrapped module ("Mylib__Net" ->
-                 "Net"), matching how call sites spell cross-module
-                 references after path normalization. *)
-              let unit_name =
-                match List.rev (split_dunder info.Cmt_format.cmt_modname) with
-                | last :: _ -> last
-                | [] -> info.Cmt_format.cmt_modname
-              in
-              d11_summaries :=
-                !d11_summaries @ Lint_alloc.collect ~unit_name str
-          | _ -> ()))
-    cmts;
-  (* D11 second sweep: verify every checked summary against the trusted
-     table formed by all of them (cross-module, like D8's universe). *)
-  Lint_alloc.verify
-    ~emit:(fun loc msg -> emit Lint.Zero_alloc loc msg)
-    !d11_summaries;
+    (fun (u : Cmt_load.unit_info) ->
+      (* Touch the source now so its inline allow sites register with the
+         tracker even when the file is finding-free. *)
+      ignore (Lint.emitter_touch_source emitter u.ui_source);
+      scan_structure ~emit ~d8_sent ~d8_declared u.ui_str)
+    units;
   (* D8 is global: compare the sent and declared literal sets across every
      scanned compilation unit. Function-form universes (variant renderers)
      only participate in the rogue-tag direction — their dead arms are the
@@ -536,8 +459,28 @@ let lint_cmt_files ?(allow = Lint.no_allow) ?tracker ?(source_root = ".") cmts =
           (Printf.sprintf
              "declared tag %S is never sent: dead handler arm or stale universe entry"
              tag))
-    declared;
-  List.sort_uniq Stdlib.compare !findings
+    declared
+
+(* D11 over the same units: harvest every [@@dynlint.zero_alloc] summary,
+   then verify each checked one against the trusted table formed by all of
+   them (cross-module, like D8's universe). *)
+let alloc_units ~emitter units =
+  let summaries =
+    List.concat_map
+      (fun (u : Cmt_load.unit_info) ->
+        Lint_alloc.collect ~unit_name:u.ui_name u.ui_str)
+      units
+  in
+  Lint_alloc.verify
+    ~emit:(fun loc msg -> Lint.emit emitter Lint.Zero_alloc loc msg)
+    summaries
+
+let lint_cmt_files ?allow ?tracker ?source_root cmts =
+  let units = Cmt_load.load_files cmts in
+  let emitter = Lint.make_emitter ?allow ?tracker ?source_root () in
+  scan_units ~emitter units;
+  alloc_units ~emitter units;
+  Lint.emitter_findings emitter
 
 let lint_cmt_dirs ?allow ?tracker ?source_root dirs =
   lint_cmt_files ?allow ?tracker ?source_root (collect_cmt_files dirs)

@@ -50,10 +50,19 @@
     staleness accounting covers both passes. *)
 
 val collect_cmt_files : string list -> string list
-(** Walk the given directories (including hidden ones — cmts live under
-    [.objs]) and return every [*.cmt] path in sorted order. A path that is
-    itself a [.cmt] file is returned as-is; unreadable directories are
-    skipped. *)
+(** Alias of {!Cmt_load.collect_cmt_files}, kept for callers predating the
+    shared loader. *)
+
+val scan_units : emitter:Lint.emitter -> Cmt_load.unit_info list -> unit
+(** D7/D8/D9 over preloaded units: per-unit scans, then the global D8
+    sent-versus-declared comparison. Touches every unit's source through
+    the emitter so finding-free files still register their inline allow
+    sites for D10. *)
+
+val alloc_units : emitter:Lint.emitter -> Cmt_load.unit_info list -> unit
+(** D11 over the same preloaded units: collect every
+    [[@@dynlint.zero_alloc]] summary, then verify the checked ones against
+    the cross-module trusted table. *)
 
 val lint_cmt_files :
   ?allow:Lint.allow ->

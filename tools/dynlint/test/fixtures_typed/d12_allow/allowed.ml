@@ -1,0 +1,5 @@
+(* The drop shape from d12_bad, suppressed by an inline allow. *)
+
+let warm t =
+  (* dynlint: allow pool-discipline — warming the pool for its side effect *)
+  ignore (Pool.acquire t)

@@ -1,0 +1,36 @@
+(* Six pool-discipline violations, one per D12 finding class. The test
+   asserts the exact count, so keep this file in sync with it. *)
+
+type stash = { mutable items : Pool.cell list }
+
+let register : (unit -> unit) -> unit = fun _ -> ()
+
+(* released only when [cond] holds: leaks on the other branch *)
+let branch_leak t cond =
+  let c = Pool.acquire t in
+  if cond then Pool.release t c
+
+(* [invalid_arg] fires while [c] is still held: exception-path leak *)
+let exn_leak t n =
+  let c = Pool.acquire t in
+  if n < 0 then invalid_arg "exn_leak";
+  Pool.release t c
+
+(* released twice *)
+let double t =
+  let c = Pool.acquire t in
+  Pool.release t c;
+  Pool.release t c
+
+(* stored into a mutable container: escapes the scope discipline *)
+let stash_escape t s =
+  let c = Pool.acquire t in
+  s.items <- c :: s.items
+
+(* captured by a closure that outlives the scope *)
+let closure_escape t =
+  let c = Pool.acquire t in
+  register (fun () -> Pool.release t c)
+
+(* acquired and dropped on the floor *)
+let drop t = ignore (Pool.acquire t)

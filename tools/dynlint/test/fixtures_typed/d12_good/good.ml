@@ -1,0 +1,43 @@
+(* Balanced pool uses that D12 must accept with zero findings. Each shape
+   mirrors something the real codebase does. *)
+
+exception Stop
+
+(* released on every branch (a transfer role counts as a release) *)
+let balanced t cond =
+  let c = Pool.acquire t in
+  if cond then Pool.release t c else Pool.hand_off t c
+
+(* returning the cell hands ownership to the caller *)
+let tail_return t =
+  let c = Pool.acquire t in
+  c.Pool.v <- 1;
+  c
+
+(* ownership hand-off through a structured result, like Event_queue.pop *)
+let pair_return t =
+  let c = Pool.acquire t in
+  (1, c)
+
+(* the handler releases before re-raising: both paths are balanced *)
+let guarded t f =
+  let c = Pool.acquire t in
+  (try f c
+   with Stop ->
+     Pool.release t c;
+     raise Stop);
+  Pool.release t c
+
+(* a loop that only borrows the cell *)
+let borrow_loop t n =
+  let c = Pool.acquire t in
+  for i = 1 to n do
+    c.Pool.v <- c.Pool.v + i
+  done;
+  Pool.release t c
+
+(* an acquire in tail position is itself a hand-off to the caller *)
+let fresh t = Pool.acquire t
+
+(* an acquire consumed directly by a release-role argument *)
+let churn t = Pool.release t (Pool.acquire t)

@@ -1,0 +1,17 @@
+(* Pool stub for the D12 fixtures. The analysis is driven entirely by the
+   role attributes; the bodies only exist so the fixture typechecks. *)
+
+type cell = { mutable v : int }
+type t = { mutable outstanding : int }
+
+let acquire t =
+  t.outstanding <- t.outstanding + 1;
+  { v = 0 }
+  [@@dynlint.pool_acquire]
+
+let release t c =
+  t.outstanding <- t.outstanding - 1;
+  c.v <- 0
+  [@@dynlint.pool_release]
+
+let hand_off t c = release t c [@@dynlint.transfers_ownership]

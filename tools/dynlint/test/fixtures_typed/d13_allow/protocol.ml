@@ -1,0 +1,12 @@
+(* An orphan constructor whose arm carries an inline allow: the universe
+   reserves it for a future protocol revision. *)
+
+type suffix = Ping | Future
+
+let suffix_to_string = function
+  | Ping -> "ping"
+  (* dynlint: allow message-flow — Future lands with the next protocol rev *)
+  | Future -> "future"
+  [@@dynlint.tag_universe]
+
+let tag s = "px-" ^ suffix_to_string s

@@ -1,0 +1,12 @@
+(* A tag universe with three constructors. [Orphan_arm] is never sent, so
+   D13 reports it as an orphan. *)
+
+type suffix = Ping | Pong | Orphan_arm
+
+let suffix_to_string = function
+  | Ping -> "ping"
+  | Pong -> "pong"
+  | Orphan_arm -> "orphan"
+  [@@dynlint.tag_universe]
+
+let tag s = "px-" ^ suffix_to_string s

@@ -1,0 +1,9 @@
+(* A fully covered tag universe: every constructor is sent at least once
+   and every send has a reachable receiver. *)
+
+type suffix = Ping | Pong
+
+let suffix_to_string = function Ping -> "ping" | Pong -> "pong"
+  [@@dynlint.tag_universe]
+
+let tag s = "px-" ^ suffix_to_string s
